@@ -1,0 +1,430 @@
+// Package repro benchmarks every table and figure of the reproduction
+// (one benchmark per paper artifact, as indexed in DESIGN.md §4) plus the
+// ablation benches of DESIGN.md §5 and micro-benchmarks of the hot
+// substrate paths.
+//
+// The per-figure benchmarks measure the analysis cost over a shared
+// small-scale study (the expensive pipeline run happens once). Regenerate
+// the actual paper-vs-measured numbers with cmd/experiments.
+package repro
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"dnsamp/internal/analysis"
+	"dnsamp/internal/cluster"
+	"dnsamp/internal/core"
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/experiments"
+	"dnsamp/internal/honeypot"
+	"dnsamp/internal/netmodel"
+	"dnsamp/internal/openintel"
+	"dnsamp/internal/pipeline"
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+	"dnsamp/internal/topology"
+	"dnsamp/internal/zonedb"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+)
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := pipeline.DefaultConfig(0.02)
+		cfg.Campaign.Zones.ProceduralNames = 100_000
+		cfg.Campaign.Topology = topology.Config{Members: 40, ASesPerClass: 80, Seed: 1}
+		benchSuite = experiments.NewSuiteWithConfig(cfg)
+	})
+	return benchSuite
+}
+
+// --- one benchmark per paper artifact --------------------------------------
+
+func BenchmarkTable2(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Table2(s.MainRecords, s.Study.NameList.Names)
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ConsensusPoint(70, s.Study.Sel1, s.Study.Sel2, s.Study.Sel3)
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Figure4()
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	s := suite(b)
+	th := []int{1, 2, 3, 5, 10, 20, 50, 100, 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.VisibilityCurve(s.Study.AggMain, s.Study.VisibleGroundTruth,
+			s.Study.NameList.Names, 0.9, th)
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{10, 15, 20, 25, 29} {
+			nl := core.BuildNameList(n, s.Study.Sel1, s.Study.Sel2, s.Study.Sel3)
+			core.ValidateDetection(s.Study.AggMain, s.Study.VisibleGroundTruth, nl.Names, s.Study.Cfg.Thresholds)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Overlap(s.Study.Detections, s.Study.HoneypotAttacks)
+	}
+}
+
+func BenchmarkFigure8a(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.AnalyzeEntity(s.Study.Records, len(s.Study.Detections), analysis.DefaultFingerprint())
+	}
+}
+
+func BenchmarkFigure8b(b *testing.B) {
+	s := suite(b)
+	feed := openintel.New(s.Study.Campaign.DB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range s.Study.Campaign.DB.EntityNames() {
+			series := feed.ANYSizeSeries(n, simclock.EntityPeriod())
+			openintel.RolloverPlateaus(series, 1500)
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Figure9()
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	s := suite(b)
+	ent := s.Entity()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range ent.Records {
+			analysis.ProfileTXIDs(r, 0.9)
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Figure11()
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Figure12()
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.AnalyzeAmplifiers(s.MainRecords, s.Feed, s.Scans)
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ClusterAmplifierSets(s.MainRecords, 0.35, 4, 150)
+	}
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Figure15()
+	}
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.AnalyzePotential(s.Feed, s.Study.NameList.Sorted(), s.MainRecords,
+			simclock.MeasurementStart.Add(simclock.Days(45)), 100)
+	}
+}
+
+func BenchmarkFigure17(b *testing.B) {
+	s := suite(b)
+	cfg := analysis.DefaultSnoopConfig()
+	cfg.Resolvers, cfg.Forwarders = 200, 200
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.RunSnoopStudy(cfg, s.Study.Campaign.DB, s.Study.NameList.Sorted(), simclock.MeasurementEnd)
+	}
+}
+
+func BenchmarkFigure18(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		honeypot.Convergence(s.Study.HoneypotAttacks, 80)
+	}
+}
+
+func BenchmarkSection5Overlap(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Section5()
+	}
+}
+
+func BenchmarkSection6Entity(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Section6()
+	}
+}
+
+func BenchmarkSection7(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Section7()
+	}
+}
+
+// --- ablations (DESIGN.md §5) ----------------------------------------------
+
+// BenchmarkAblationSampling compares binomial flow thinning against
+// per-packet sampling for a 1M-packet flow: statistically identical,
+// ~10^5x cheaper.
+func BenchmarkAblationSampling(b *testing.B) {
+	b.Run("thinning", func(b *testing.B) {
+		s := sflow.NewSampler(1)
+		for i := 0; i < b.N; i++ {
+			s.ThinFlow(1_000_000)
+		}
+	})
+	b.Run("per-packet", func(b *testing.B) {
+		s := sflow.NewSampler(1)
+		frame := make([]byte, 100)
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 1_000_000; j++ {
+				s.SamplePacket(0, frame)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSelectorSize measures detection validation across
+// selector list sizes (the Fig. 6 sweep).
+func BenchmarkAblationSelectorSize(b *testing.B) {
+	s := suite(b)
+	for _, n := range []int{10, 20, 29, 50} {
+		nl := core.BuildNameList(n, s.Study.Sel1, s.Study.Sel2, s.Study.Sel3)
+		b.Run(bname("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ValidateDetection(s.Study.AggMain, s.Study.VisibleGroundTruth, nl.Names, s.Study.Cfg.Thresholds)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTruncation compares decoding a full 4kB response
+// frame against the 128-byte truncated capture; truncation loses the
+// answer section but keeps the response size recoverable.
+func BenchmarkAblationTruncation(b *testing.B) {
+	db := zonedb.New(zonedb.Config{ProceduralNames: 1000})
+	z, _ := db.Zone("doj.gov")
+	q := dnswire.NewQuery(7, "doj.gov", dnswire.TypeANY, 4096)
+	resp := z.BuildANYResponse(q, simclock.MeasurementStart)
+	payload := dnswire.Encode(resp)
+	ip := netmodel.IPv4{TTL: 60, Src: netip.MustParseAddr("203.0.113.1"), Dst: netip.MustParseAddr("192.0.2.1")}
+	udp := netmodel.UDP{SrcPort: 53, DstPort: 40000}
+	full := netmodel.EncodeUDPPacket(netmodel.Ethernet{}, ip, udp, payload)
+	trunc := netmodel.Truncate(full, 128)
+
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pkt, _ := netmodel.DecodeFrame(full)
+			dnswire.Parse(pkt.Payload)
+		}
+	})
+	b.Run("truncated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pkt, _ := netmodel.DecodeFrame(trunc)
+			dnswire.Parse(pkt.Payload)
+		}
+	})
+}
+
+// BenchmarkAblationThresholds sweeps the detection threshold pair.
+func BenchmarkAblationThresholds(b *testing.B) {
+	s := suite(b)
+	for _, th := range []core.Thresholds{
+		{MinShare: 0.5, MinPackets: 1},
+		{MinShare: 0.9, MinPackets: 1},
+		{MinShare: 0.9, MinPackets: 10},
+		{MinShare: 0.99, MinPackets: 50},
+	} {
+		b.Run(bname("p", th.MinPackets), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Detect(s.Study.AggMain, s.Study.NameList.Names, th)
+			}
+		})
+	}
+}
+
+// --- substrate micro-benchmarks ---------------------------------------------
+
+func BenchmarkDNSEncodeQuery(b *testing.B) {
+	var enc dnswire.Encoder
+	q := dnswire.NewQuery(7, "peacecorps.gov", dnswire.TypeANY, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(q)
+	}
+}
+
+func BenchmarkDNSEncodeANYResponse(b *testing.B) {
+	db := zonedb.New(zonedb.Config{ProceduralNames: 1000})
+	z, _ := db.Zone("doj.gov")
+	q := dnswire.NewQuery(7, "doj.gov", dnswire.TypeANY, 4096)
+	resp := z.BuildANYResponse(q, simclock.MeasurementStart)
+	var enc dnswire.Encoder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(resp)
+	}
+}
+
+func BenchmarkDNSParseTruncated(b *testing.B) {
+	db := zonedb.New(zonedb.Config{ProceduralNames: 1000})
+	z, _ := db.Zone("doj.gov")
+	q := dnswire.NewQuery(7, "doj.gov", dnswire.TypeANY, 4096)
+	wire := dnswire.Encode(z.BuildANYResponse(q, simclock.MeasurementStart))[:86]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dnswire.Parse(wire)
+	}
+}
+
+func BenchmarkZoneANYSize(b *testing.B) {
+	db := zonedb.New(zonedb.Config{ProceduralNames: 1000})
+	t := simclock.MeasurementStart
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.ANYSize("doj.gov", t.Add(simclock.Duration(i%100)*simclock.Day))
+	}
+}
+
+func BenchmarkProceduralANYSize(b *testing.B) {
+	db := zonedb.New(zonedb.Config{ProceduralNames: 100_000})
+	t := simclock.MeasurementStart
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.ANYSize(db.ProceduralName(i%100_000), t)
+	}
+}
+
+func BenchmarkTrafficDay(b *testing.B) {
+	cfg := ecosystem.DefaultCampaignConfig(0.01)
+	cfg.Zones.ProceduralNames = 20_000
+	c := ecosystem.NewCampaign(cfg)
+	g := ecosystem.NewGenerator(c, 7)
+	day := simclock.MeasurementStart.Add(simclock.Days(10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Day(day.Add(simclock.Days(i % 30)))
+	}
+}
+
+func BenchmarkDBSCAN(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 400
+	m := cluster.NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.DBSCAN(m, 0.2, 4)
+	}
+}
+
+func BenchmarkTSNE(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 100
+	m := cluster.NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	cfg := cluster.DefaultTSNEConfig()
+	cfg.Iterations = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.TSNE(m, cfg)
+	}
+}
+
+func bname(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,70 @@
+// Command dnsampdetect runs the complete offline detection pipeline of
+// §4 over a synthetic campaign: selector-based misused-name discovery,
+// threshold detection, and a per-day attack summary.
+//
+// Usage:
+//
+//	dnsampdetect [-scale 0.05] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/pipeline"
+	"dnsamp/internal/simclock"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "campaign scale")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	verbose := flag.Bool("v", false, "print every detection")
+	flag.Parse()
+
+	start := time.Now()
+	cfg := pipeline.DefaultConfig(*scale)
+	cfg.Campaign.Seed = *seed
+	cfg.ExtendedWindow = false // detection only needs the main window
+	st := pipeline.Run(cfg)
+
+	fmt.Printf("sanitized DNS samples: %d (%d dropped as malformed)\n",
+		st.CaptureStats.Accepted, st.CaptureStats.Malformed)
+	fmt.Printf("selector consensus: N=%d; final misused-name list: %d names\n",
+		st.ConsensusN, len(st.NameList.Names))
+	for _, n := range st.NameList.Sorted() {
+		tag := ""
+		if dnswire.TLD(n) == "gov" {
+			tag = "  [.gov]"
+		}
+		fmt.Printf("  %s%s\n", n, tag)
+	}
+
+	fmt.Printf("\ndetected attacks: %d ((victim IP, day) pairs)\n", len(st.Detections))
+	byDay := map[int]int{}
+	for _, d := range st.Detections {
+		byDay[d.Day]++
+	}
+	days := make([]int, 0, len(byDay))
+	for d := range byDay {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	fmt.Println("\nday          attacks")
+	for _, d := range days {
+		fmt.Printf("%s %8d\n", (simclock.Time(d) * simclock.Time(simclock.Day)).Date(), byDay[d])
+	}
+
+	if *verbose {
+		fmt.Println("\nvictim            day         packets  share")
+		for _, d := range st.Detections {
+			fmt.Printf("%-16v %s %8d  %.2f\n",
+				fmt.Sprintf("%d.%d.%d.%d", d.Victim[0], d.Victim[1], d.Victim[2], d.Victim[3]),
+				(simclock.Time(d.Day) * simclock.Time(simclock.Day)).Date(), d.Packets, d.Share)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+}

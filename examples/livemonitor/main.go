@@ -1,0 +1,51 @@
+// Livemonitor demonstrates the §4.3 online deployment: frames arrive one
+// by one (as they would from an sFlow collector), the monitor keeps a
+// rolling daily aggregate, refreshes the misused-name list every five
+// minutes of traffic time, and emits per-day victim statistics.
+//
+// Unlike the offline pipeline, the monitor never sees the future: name
+// lists adapt as attacks change.
+package main
+
+import (
+	"fmt"
+
+	"dnsamp/internal/core"
+	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/simclock"
+)
+
+func main() {
+	c := ecosystem.NewCampaign(ecosystem.DefaultCampaignConfig(0.03))
+	gen := ecosystem.NewGenerator(c, 11)
+	capture := ixp.NewCapturePoint(c.Topo)
+	mon := core.NewMonitor(29, 5*simclock.Minute, core.DefaultThresholds())
+
+	// Stream one week that includes an entity name transition so the
+	// list update is visible.
+	start := simclock.MeasurementStart.Add(simclock.Days(16))
+	for d := 0; d < 7; d++ {
+		day := start.Add(simclock.Days(d))
+		names := c.Entity.NameAt(day)
+		for _, tr := range gen.Day(day).IXP {
+			s, ok := capture.Process(tr.Rec)
+			if !ok {
+				continue
+			}
+			if tr.Ingress != 0 {
+				s.PeerAS = tr.Ingress
+			}
+			mon.Observe(&s)
+		}
+		fmt.Printf("%s streamed (entity currently misuses %v)\n", day.Date(), names)
+	}
+	mon.Close(start.Add(simclock.Days(7)))
+
+	fmt.Println("\nday          victims  /24s  list-Jaccard")
+	for _, d := range mon.Days() {
+		fmt.Printf("%s %8d %5d  %.2f\n", d.Day.Date(), d.Victims, d.Prefixes24, d.NameListJaccard)
+	}
+	fmt.Printf("\nname-list refreshes: %d (every 5 traffic-minutes)\n", len(mon.Updates))
+	fmt.Printf("mean day-over-day list Jaccard: %.2f (paper: 0.96)\n", mon.MeanNameListJaccard())
+}

@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"net/netip"
+	"sort"
+
+	"dnsamp/internal/cluster"
+	"dnsamp/internal/core"
+	"dnsamp/internal/openintel"
+	"dnsamp/internal/scanner"
+	"dnsamp/internal/simclock"
+	"dnsamp/internal/stats"
+)
+
+// AmplifierEcosystem bundles the §7.1 analyses.
+type AmplifierEcosystem struct {
+	// TotalAmplifiers is the number of distinct abused amplifier
+	// addresses observed at the IXP (paper: 45k).
+	TotalAmplifiers int
+	// AuthoritativeCount are amplifiers identified as authoritative
+	// nameservers via the measurement feed (paper: 908, ~2%).
+	AuthoritativeCount int
+	// RootAuthShare vs NonRootAuthShare compare the authoritative share
+	// of amplifiers in root-query attacks vs others (paper: 4×).
+	RootAuthShare, NonRootAuthShare float64
+
+	// AmpsPerAttack is the Fig. 13a distribution.
+	AmpsPerAttack *stats.ECDF
+	// AttacksPerAmp is the Fig. 13b distribution.
+	AttacksPerAmp *stats.ECDF
+	// MultiAttackShare is the share of amplifiers in >1 attack (paper:
+	// 50%); TenPlusShare in >10 (paper: 23%).
+	MultiAttackShare, TenPlusShare float64
+
+	// ShodanKnownShare is the fraction of abused amplifiers the scan
+	// feed ever indexed (paper: 95%).
+	ShodanKnownShare float64
+	// AbusedBeforeDiscovery counts amplifiers abused before their first
+	// scan sighting (paper: ~850, 2%).
+	AbusedBeforeDiscovery int
+	// FirstSeenHist / LastSeenHist bucket scan first/last sightings by
+	// half-year (Fig. 15); keys are half-year indices since 2016.
+	FirstSeenHist, LastSeenHist map[int]int
+
+	// DayOverlapMean is the mean share of day-i amplifiers reappearing
+	// on day i+1 (paper: 45%).
+	DayOverlapMean float64
+	// FirstLastOverlap compares the first and last day of the period
+	// (paper: 20%).
+	FirstLastOverlap float64
+}
+
+// AnalyzeAmplifiers runs the §7.1 ecosystem analyses over main-window
+// attack records.
+func AnalyzeAmplifiers(records []*core.AttackRecord, feed *openintel.Feed, scans *scanner.Index) *AmplifierEcosystem {
+	res := &AmplifierEcosystem{
+		AmpsPerAttack: &stats.ECDF{},
+		AttacksPerAmp: &stats.ECDF{},
+		FirstSeenHist: make(map[int]int),
+		LastSeenHist:  make(map[int]int),
+	}
+
+	attacksPerAmp := make(map[[4]byte]int)
+	firstAbuse := make(map[[4]byte]simclock.Time)
+	perDay := make(map[int]map[[4]byte]bool)
+	rootAuth, rootAll, otherAuth, otherAll := 0, 0, 0, 0
+
+	for _, r := range records {
+		res.AmpsPerAttack.AddInt(len(r.Amplifiers))
+		isRoot := r.DominantName() == "."
+		for a := range r.Amplifiers {
+			attacksPerAmp[a]++
+			if t, ok := firstAbuse[a]; !ok || r.First.Before(t) {
+				firstAbuse[a] = r.First
+			}
+			if perDay[r.Day] == nil {
+				perDay[r.Day] = make(map[[4]byte]bool)
+			}
+			perDay[r.Day][a] = true
+
+			addr := netip.AddrFrom4(a)
+			isAuth := len(feed.AuthoritativeZonesFor(addr)) > 0
+			if isRoot {
+				rootAll++
+				if isAuth {
+					rootAuth++
+				}
+			} else {
+				otherAll++
+				if isAuth {
+					otherAuth++
+				}
+			}
+		}
+	}
+
+	res.TotalAmplifiers = len(attacksPerAmp)
+	multi, tenPlus := 0, 0
+	authSet := 0
+	known := 0
+	early := 0
+	for a, n := range attacksPerAmp {
+		res.AttacksPerAmp.AddInt(n)
+		if n > 1 {
+			multi++
+		}
+		if n > 10 {
+			tenPlus++
+		}
+		addr := netip.AddrFrom4(a)
+		if len(feed.AuthoritativeZonesFor(addr)) > 0 {
+			authSet++
+		}
+		if h, ok := scans.Lookup(addr); ok {
+			known++
+			res.FirstSeenHist[halfYearIndex(h.FirstSeen)]++
+			res.LastSeenHist[halfYearIndex(h.LastSeen)]++
+			if firstAbuse[a].Before(h.FirstSeen) {
+				early++
+			}
+		}
+	}
+	res.AuthoritativeCount = authSet
+	if res.TotalAmplifiers > 0 {
+		res.MultiAttackShare = float64(multi) / float64(res.TotalAmplifiers)
+		res.TenPlusShare = float64(tenPlus) / float64(res.TotalAmplifiers)
+		res.ShodanKnownShare = float64(known) / float64(res.TotalAmplifiers)
+	}
+	res.AbusedBeforeDiscovery = early
+	if rootAll > 0 {
+		res.RootAuthShare = float64(rootAuth) / float64(rootAll)
+	}
+	if otherAll > 0 {
+		res.NonRootAuthShare = float64(otherAuth) / float64(otherAll)
+	}
+
+	// Day-over-day abused-amplifier overlap.
+	days := make([]int, 0, len(perDay))
+	for d := range perDay {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	var overlapSum float64
+	overlapN := 0
+	for i := 1; i < len(days); i++ {
+		if days[i] != days[i-1]+1 {
+			continue
+		}
+		prev, cur := perDay[days[i-1]], perDay[days[i]]
+		if len(prev) == 0 {
+			continue
+		}
+		inter := 0
+		for a := range prev {
+			if cur[a] {
+				inter++
+			}
+		}
+		overlapSum += float64(inter) / float64(len(prev))
+		overlapN++
+	}
+	if overlapN > 0 {
+		res.DayOverlapMean = overlapSum / float64(overlapN)
+	}
+	if len(days) >= 2 {
+		first, last := perDay[days[0]], perDay[days[len(days)-1]]
+		inter := 0
+		for a := range first {
+			if last[a] {
+				inter++
+			}
+		}
+		if len(first) > 0 {
+			res.FirstLastOverlap = float64(inter) / float64(len(first))
+		}
+	}
+	return res
+}
+
+// halfYearIndex buckets a time into half-years since 2016-01.
+func halfYearIndex(t simclock.Time) int {
+	std := t.Std()
+	idx := (std.Year()-2016)*2 + int(std.Month()-1)/6
+	return idx
+}
+
+// ClusteringResult is the Fig. 14 analysis outcome.
+type ClusteringResult struct {
+	// Points is the number of clustered attack events.
+	Points int
+	// Labels are the DBSCAN labels (cluster.Noise for outliers).
+	Labels []int
+	// NoiseShare (paper: ~92%).
+	NoiseShare float64
+	// Clusters is the number of DBSCAN clusters (paper: 67).
+	Clusters int
+	// FixedListShare is the share of events in clusters with >= 5
+	// attacks and >= 5 amplifiers (paper: ~2%).
+	FixedListShare float64
+	// MostStatic describes the most static cluster (paper's α: 177
+	// attacks / 40 days, zero change).
+	MostStatic ClusterSummary
+	// Largest describes the cluster with the largest amplifier sets
+	// (paper's β: ~527 amplifiers with small drift).
+	Largest ClusterSummary
+	// Embedding is the 2D t-SNE layout (subsampled; may be nil when
+	// disabled).
+	Embedding []cluster.Point2
+	// EmbeddingLabels aligns with Embedding when present.
+	EmbeddingLabels []int
+}
+
+// ClusterSummary describes one DBSCAN cluster.
+type ClusterSummary struct {
+	ID int
+	// Attacks is the member count.
+	Attacks int
+	// SpanDays is the time spread of the member attacks.
+	SpanDays int
+	// MeanAmplifiers is the mean amplifier-set size.
+	MeanAmplifiers float64
+	// MeanIntraDistance is the mean pairwise Jaccard distance within
+	// the cluster (0 = perfectly static list).
+	MeanIntraDistance float64
+}
+
+// ClusterAmplifierSets runs the bilateral clustering of §7.1 over the
+// records' amplifier sets: DBSCAN for cluster structure and (optionally,
+// on a subsample of maxEmbed points) t-SNE for the visual layout.
+func ClusterAmplifierSets(records []*core.AttackRecord, eps float64, minPts, maxEmbed int) *ClusteringResult {
+	// Only events with at least one amplifier are clusterable.
+	var evs []*core.AttackRecord
+	for _, r := range records {
+		if len(r.Amplifiers) > 0 {
+			evs = append(evs, r)
+		}
+	}
+	n := len(evs)
+	res := &ClusteringResult{Points: n}
+	if n == 0 {
+		return res
+	}
+
+	sets := make([]map[string]bool, n)
+	for i, r := range evs {
+		s := make(map[string]bool, len(r.Amplifiers))
+		for a := range r.Amplifiers {
+			s[string(a[:])] = true
+		}
+		sets[i] = s
+	}
+	m := cluster.NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, stats.JaccardDistance(sets[i], sets[j]))
+		}
+	}
+	res.Labels = cluster.DBSCAN(m, eps, minPts)
+	res.NoiseShare = cluster.NoiseShare(res.Labels)
+	res.Clusters = cluster.NumClusters(res.Labels)
+
+	// Summarize clusters.
+	inFixed := 0
+	bestStatic := ClusterSummary{MeanIntraDistance: 2}
+	largest := ClusterSummary{}
+	for id := 0; id < res.Clusters; id++ {
+		members := cluster.Members(res.Labels, id)
+		if len(members) == 0 {
+			continue
+		}
+		sum := ClusterSummary{ID: id, Attacks: len(members)}
+		minDayV, maxDayV := 1<<60, -1
+		var ampSum float64
+		for _, i := range members {
+			if evs[i].Day < minDayV {
+				minDayV = evs[i].Day
+			}
+			if evs[i].Day > maxDayV {
+				maxDayV = evs[i].Day
+			}
+			ampSum += float64(len(evs[i].Amplifiers))
+		}
+		sum.SpanDays = maxDayV - minDayV + 1
+		sum.MeanAmplifiers = ampSum / float64(len(members))
+		var dsum float64
+		cnt := 0
+		for a := 0; a < len(members); a++ {
+			for b := a + 1; b < len(members); b++ {
+				dsum += m.Dist(members[a], members[b])
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			sum.MeanIntraDistance = dsum / float64(cnt)
+		}
+		if sum.Attacks >= 5 && sum.MeanAmplifiers >= 5 {
+			inFixed += sum.Attacks
+			if sum.MeanIntraDistance < bestStatic.MeanIntraDistance {
+				bestStatic = sum
+			}
+			if sum.MeanAmplifiers > largest.MeanAmplifiers {
+				largest = sum
+			}
+		}
+	}
+	res.FixedListShare = float64(inFixed) / float64(n)
+	res.MostStatic = bestStatic
+	res.Largest = largest
+
+	// Optional t-SNE embedding on a subsample.
+	if maxEmbed > 0 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		if n > maxEmbed {
+			// Deterministic stride subsample keeping cluster members.
+			var keep []int
+			for i, l := range res.Labels {
+				if l >= 0 {
+					keep = append(keep, i)
+				}
+			}
+			stride := n/maxEmbed + 1
+			for i := 0; i < n && len(keep) < maxEmbed; i += stride {
+				if res.Labels[i] < 0 {
+					keep = append(keep, i)
+				}
+			}
+			sort.Ints(keep)
+			idx = keep
+		}
+		sub := cluster.NewDense(len(idx))
+		for a := 0; a < len(idx); a++ {
+			for b := a + 1; b < len(idx); b++ {
+				sub.Set(a, b, m.Dist(idx[a], idx[b]))
+			}
+		}
+		res.Embedding = cluster.TSNE(sub, cluster.DefaultTSNEConfig())
+		res.EmbeddingLabels = make([]int, len(idx))
+		for i, j := range idx {
+			res.EmbeddingLabels[i] = res.Labels[j]
+		}
+	}
+	return res
+}

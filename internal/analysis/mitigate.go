@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"sort"
+
+	"dnsamp/internal/core"
+	"dnsamp/internal/ecosystem"
+)
+
+// MitigationImpact quantifies §8's operator recommendations against the
+// observed attack traffic:
+//
+//   - Blocking or minimizing ANY (RFC 8482) removes the share of attack
+//     traffic that is ANY-based.
+//   - "Some few resolvers serve a significant amount of amplifiers
+//     (i.e., forwarders), educating those first will have larger
+//     impact": the cumulative share of abused-forwarder responses
+//     covered by fixing the top-K shared upstream resolvers.
+type MitigationImpact struct {
+	// ANYShare is the fraction of attack packets that ANY handling
+	// changes would remove (paper context: attack traffic is ~all ANY).
+	ANYShare float64
+	// ForwarderResponseShare is the share of attack responses emitted
+	// by forwarders (vs recursives/authoritatives).
+	ForwarderResponseShare float64
+	// UpstreamCurve[k] is the cumulative share of forwarder-borne
+	// attack responses eliminated by educating the k+1 largest shared
+	// upstream resolvers.
+	UpstreamCurve []float64
+	// Upstreams is the number of distinct upstreams behind abused
+	// forwarders.
+	Upstreams int
+	// TopUpstreamForwarders is the abused-forwarder count behind the
+	// single largest upstream (the paper observes individual resolvers
+	// serving up to 20k amplifiers).
+	TopUpstreamForwarders int
+}
+
+// AnalyzeMitigation computes the impact estimates from attack records
+// and the amplifier population.
+func AnalyzeMitigation(records []*core.AttackRecord, pool *ecosystem.Pool) *MitigationImpact {
+	res := &MitigationImpact{}
+
+	byAddr := make(map[[4]byte]*ecosystem.Amplifier, pool.Len())
+	for i := 0; i < pool.Len(); i++ {
+		a := pool.Get(i)
+		byAddr[a.Addr.As4()] = a
+	}
+
+	var totalPkts, anyPkts int
+	var respTotal, respForwarder int
+	upstreamResponses := make(map[int]int)
+	upstreamForwarders := make(map[int]map[[4]byte]bool)
+
+	for _, r := range records {
+		totalPkts += r.Packets
+		anyPkts += r.ANYPackets
+		for addr, cnt := range r.Amplifiers {
+			respTotal += cnt
+			a := byAddr[addr]
+			if a == nil {
+				continue
+			}
+			if a.Upstream >= 0 {
+				respForwarder += cnt
+				upstreamResponses[a.Upstream] += cnt
+				if upstreamForwarders[a.Upstream] == nil {
+					upstreamForwarders[a.Upstream] = make(map[[4]byte]bool)
+				}
+				upstreamForwarders[a.Upstream][addr] = true
+			}
+		}
+	}
+	if totalPkts > 0 {
+		res.ANYShare = float64(anyPkts) / float64(totalPkts)
+	}
+	if respTotal > 0 {
+		res.ForwarderResponseShare = float64(respForwarder) / float64(respTotal)
+	}
+	res.Upstreams = len(upstreamResponses)
+
+	counts := make([]int, 0, len(upstreamResponses))
+	for up, c := range upstreamResponses {
+		counts = append(counts, c)
+		if n := len(upstreamForwarders[up]); n > res.TopUpstreamForwarders {
+			res.TopUpstreamForwarders = n
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	cum := 0
+	res.UpstreamCurve = make([]float64, len(counts))
+	for i, c := range counts {
+		cum += c
+		if respForwarder > 0 {
+			res.UpstreamCurve[i] = float64(cum) / float64(respForwarder)
+		}
+	}
+	return res
+}
+
+// CoverageAt returns the forwarder-response share removed by educating
+// the top k upstreams.
+func (m *MitigationImpact) CoverageAt(k int) float64 {
+	if len(m.UpstreamCurve) == 0 {
+		return 0
+	}
+	if k <= 0 {
+		return 0
+	}
+	if k > len(m.UpstreamCurve) {
+		k = len(m.UpstreamCurve)
+	}
+	return m.UpstreamCurve[k-1]
+}

@@ -1,0 +1,164 @@
+// Package core implements the paper's primary contribution: passive DNS
+// amplification-attack detection at an IXP (§4).
+//
+// The pipeline has three stages, mirroring Fig. 2:
+//
+//  1. Aggregation (this file): a streaming pass over sanitized DNS
+//     samples building per-name statistics (for the selectors) and
+//     per-(client IP, day) traffic profiles (for the thresholds).
+//  2. Misused-name identification (selectors.go): three selectors — max
+//     response size, ANY packet count, honeypot-correlated ground truth —
+//     sized at their Jaccard consensus point and merged.
+//  3. Attack detection (detect.go): the traffic-share and minimum-packet
+//     thresholds, grouping packets into attack events.
+package core
+
+import (
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/simclock"
+)
+
+// ClientDay identifies one (client IP, day) pair — the paper's detection
+// granularity.
+type ClientDay struct {
+	Client [4]byte
+	Day    int // days since epoch
+}
+
+// ClientAgg is the per-(client, day) traffic profile.
+type ClientAgg struct {
+	// Total is the number of sampled DNS packets attributed to the
+	// client (source of queries, destination of responses).
+	Total int
+	// Bytes sums the DNS message sizes (UDP-length derived).
+	Bytes int
+	// ANYPackets / ANYBytes cover the type-ANY subset.
+	ANYPackets int
+	ANYBytes   int
+	// Tracked counts packets per tracked name (candidate universe).
+	Tracked map[string]int
+	// First and Last bound the observed activity.
+	First, Last simclock.Time
+}
+
+// TrackedTotal sums the tracked-name packet counts.
+func (a *ClientAgg) TrackedTotal() int {
+	n := 0
+	for _, c := range a.Tracked {
+		n += c
+	}
+	return n
+}
+
+// NameStats is the global per-name aggregate feeding Selectors 1 and 2.
+type NameStats struct {
+	// MaxSize is the largest response size observed for the name (from
+	// the UDP length field, §3.1).
+	MaxSize int
+	// ANYPackets counts packets (queries and responses) of type ANY.
+	ANYPackets int
+	// Packets counts all packets for the name.
+	Packets int
+}
+
+// Aggregator is the streaming pass-1 state.
+type Aggregator struct {
+	// trackNames is the name universe tracked per client (memory
+	// bound); global per-name stats cover every observed name.
+	trackNames map[string]bool
+
+	Names   map[string]*NameStats
+	Clients map[ClientDay]*ClientAgg
+
+	// Samples counts accepted DNS samples.
+	Samples int
+	// Requests counts query packets.
+	Requests int
+	// TotalBytes sums DNS message sizes across all samples.
+	TotalBytes int
+	// ANYPackets / ANYBytes cover the type-ANY subset globally.
+	ANYPackets int
+	ANYBytes   int
+}
+
+// NewAggregator creates an aggregator tracking the given per-client name
+// universe (typically the explicit zone list plus the root name; the
+// candidate list is always a subset).
+func NewAggregator(trackNames []string) *Aggregator {
+	tn := make(map[string]bool, len(trackNames))
+	for _, n := range trackNames {
+		tn[n] = true
+	}
+	return &Aggregator{
+		trackNames: tn,
+		Names:      make(map[string]*NameStats),
+		Clients:    make(map[ClientDay]*ClientAgg),
+	}
+}
+
+// Observe ingests one sanitized sample.
+func (ag *Aggregator) Observe(s *ixp.DNSSample) {
+	ag.Samples++
+	if !s.IsResponse {
+		ag.Requests++
+	}
+	ag.TotalBytes += s.MsgSize
+	isANY := s.QType == dnswire.TypeANY
+	if isANY {
+		ag.ANYPackets++
+		ag.ANYBytes += s.MsgSize
+	}
+
+	ns := ag.Names[s.QName]
+	if ns == nil {
+		ns = &NameStats{}
+		ag.Names[s.QName] = ns
+	}
+	ns.Packets++
+	if isANY {
+		ns.ANYPackets++
+	}
+	if s.IsResponse && s.MsgSize > ns.MaxSize {
+		ns.MaxSize = s.MsgSize
+	}
+
+	key := ClientDay{Client: s.ClientAddr(), Day: s.Time.Day()}
+	ca := ag.Clients[key]
+	if ca == nil {
+		ca = &ClientAgg{First: s.Time, Last: s.Time}
+		ag.Clients[key] = ca
+	}
+	ca.Total++
+	ca.Bytes += s.MsgSize
+	if isANY {
+		ca.ANYPackets++
+		ca.ANYBytes += s.MsgSize
+	}
+	if s.Time.Before(ca.First) {
+		ca.First = s.Time
+	}
+	if s.Time.After(ca.Last) {
+		ca.Last = s.Time
+	}
+	if ag.trackNames[s.QName] {
+		if ca.Tracked == nil {
+			ca.Tracked = make(map[string]int, 2)
+		}
+		ca.Tracked[s.QName]++
+	}
+}
+
+// ShareOf returns the misused-name traffic share of a client profile
+// with respect to a candidate set.
+func (a *ClientAgg) ShareOf(candidates map[string]bool) (share float64, candPackets int) {
+	for n, c := range a.Tracked {
+		if candidates[n] {
+			candPackets += c
+		}
+	}
+	if a.Total == 0 {
+		return 0, 0
+	}
+	return float64(candPackets) / float64(a.Total), candPackets
+}

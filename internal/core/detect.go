@@ -1,0 +1,298 @@
+package core
+
+import (
+	"sort"
+
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/simclock"
+)
+
+// Thresholds are the two detection thresholds of §4.2.
+type Thresholds struct {
+	// MinShare is the minimum misused-name traffic share per
+	// (client, day) (paper: 0.90).
+	MinShare float64
+	// MinPackets is the minimum sampled packet count (paper: 10).
+	MinPackets int
+}
+
+// DefaultThresholds returns the paper's configuration.
+func DefaultThresholds() Thresholds { return Thresholds{MinShare: 0.90, MinPackets: 10} }
+
+// Detection is one detected attack: a (victim IP, day) pair exceeding
+// both thresholds.
+type Detection struct {
+	Victim [4]byte
+	Day    int
+	// Packets is the total sampled packet count of the pair.
+	Packets int
+	// CandidatePackets is the misused-name subset.
+	CandidatePackets int
+	// Share is CandidatePackets / Packets.
+	Share       float64
+	First, Last simclock.Time
+}
+
+// Duration is the observed attack span.
+func (d *Detection) Duration() simclock.Duration { return d.Last.Sub(d.First) }
+
+// Detect applies the thresholds to pass-1 aggregates.
+func Detect(ag *Aggregator, candidates map[string]bool, th Thresholds) []*Detection {
+	var out []*Detection
+	for key, ca := range ag.Clients {
+		share, cand := ca.ShareOf(candidates)
+		if cand == 0 {
+			continue
+		}
+		if ca.Total < th.MinPackets || share < th.MinShare {
+			continue
+		}
+		out = append(out, &Detection{
+			Victim: key.Client, Day: key.Day,
+			Packets: ca.Total, CandidatePackets: cand, Share: share,
+			First: ca.First, Last: ca.Last,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Day != out[j].Day {
+			return out[i].Day < out[j].Day
+		}
+		return lessAddr(out[i].Victim, out[j].Victim)
+	})
+	return out
+}
+
+func lessAddr(a, b [4]byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// AttackRecord carries the per-attack details collected in pass 2 for
+// the analyses of §5–§7.
+type AttackRecord struct {
+	Victim [4]byte
+	Day    int
+
+	First, Last simclock.Time
+
+	Packets   int
+	Requests  int
+	Responses int
+
+	// Names counts packets per misused name.
+	Names map[string]int
+	// ANYPackets counts type-ANY packets.
+	ANYPackets int
+
+	// TXIDs counts DNS transaction IDs (queries and responses).
+	TXIDs map[uint16]int
+
+	// Amplifiers counts response packets per amplifier address.
+	Amplifiers map[[4]byte]int
+
+	// Sizes holds observed response sizes (bytes, from UDP length).
+	Sizes []int
+
+	// ReqIngress counts request packets per ingress member AS.
+	ReqIngress map[uint32]int
+	// ReqTTLs counts request packets per IP TTL value.
+	ReqTTLs map[uint8]int
+
+	// VictimASN is the victim's origin AS (from routing data).
+	VictimASN uint32
+}
+
+// DominantName returns the most frequent misused name of the attack.
+func (r *AttackRecord) DominantName() string {
+	best, name := 0, ""
+	for n, c := range r.Names {
+		if c > best || (c == best && n < name) {
+			best, name = c, n
+		}
+	}
+	return name
+}
+
+// Duration returns the observed attack span.
+func (r *AttackRecord) Duration() simclock.Duration { return r.Last.Sub(r.First) }
+
+// Collector is the pass-2 stage: given the detected (victim, day) pairs,
+// it extracts per-attack details from a second streaming pass.
+type Collector struct {
+	candidates map[string]bool
+	wanted     map[ClientDay]*AttackRecord
+	// VisibleNS records the decodable NS-record count of every attack
+	// response sample (the NXNS check of §4.2).
+	VisibleNS []int
+}
+
+// NewCollector prepares pass 2 for the given detections.
+func NewCollector(dets []*Detection, candidates map[string]bool) *Collector {
+	c := &Collector{candidates: candidates, wanted: make(map[ClientDay]*AttackRecord, len(dets))}
+	for _, d := range dets {
+		c.wanted[ClientDay{Client: d.Victim, Day: d.Day}] = &AttackRecord{
+			Victim: d.Victim, Day: d.Day,
+			First: d.First, Last: d.Last,
+			Names:      make(map[string]int),
+			TXIDs:      make(map[uint16]int),
+			Amplifiers: make(map[[4]byte]int),
+			ReqIngress: make(map[uint32]int),
+			ReqTTLs:    make(map[uint8]int),
+		}
+	}
+	return c
+}
+
+// Observe ingests one sample during pass 2.
+func (c *Collector) Observe(s *ixp.DNSSample) {
+	rec := c.wanted[ClientDay{Client: s.ClientAddr(), Day: s.Time.Day()}]
+	if rec == nil || !c.candidates[s.QName] {
+		return
+	}
+	rec.Packets++
+	rec.Names[s.QName]++
+	rec.TXIDs[s.TXID]++
+	if s.QType == dnswire.TypeANY {
+		rec.ANYPackets++
+	}
+	if s.IsResponse {
+		rec.Responses++
+		rec.Amplifiers[s.Src]++
+		rec.Sizes = append(rec.Sizes, s.MsgSize)
+		c.VisibleNS = append(c.VisibleNS, s.VisibleNS)
+	} else {
+		rec.Requests++
+		rec.ReqIngress[s.PeerAS]++
+		rec.ReqTTLs[s.IPTTL]++
+	}
+	if s.Time.Before(rec.First) {
+		rec.First = s.Time
+	}
+	if s.Time.After(rec.Last) {
+		rec.Last = s.Time
+	}
+}
+
+// SetVictimASN annotates a record's victim origin AS.
+func (c *Collector) SetVictimASN(lookup func([4]byte) uint32) {
+	for _, rec := range c.wanted {
+		rec.VictimASN = lookup(rec.Victim)
+	}
+}
+
+// Records returns the collected attack records, sorted by (day, victim).
+func (c *Collector) Records() []*AttackRecord {
+	out := make([]*AttackRecord, 0, len(c.wanted))
+	for _, r := range c.wanted {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Day != out[j].Day {
+			return out[i].Day < out[j].Day
+		}
+		return lessAddr(out[i].Victim, out[j].Victim)
+	})
+	return out
+}
+
+// ValidateDetection measures the detection rate for visible ground-truth
+// attacks under a candidate list and thresholds (Fig. 6): the fraction
+// of visible ground-truth (victim, day) pairs that the thresholds flag.
+func ValidateDetection(ag *Aggregator, visible []GroundTruthAttack, candidates map[string]bool, th Thresholds) float64 {
+	if len(visible) == 0 {
+		return 0
+	}
+	// Only ground-truth attacks that remain visible under the minimum
+	// packet threshold can possibly be detected; the paper reports the
+	// detection rate over visible attacks.
+	detected := 0
+	total := 0
+	for _, gt := range visible {
+		// An attack is detected if any of its days trips the
+		// thresholds.
+		vis := false
+		hit := false
+		for _, d := range gt.Days() {
+			ca := ag.Clients[ClientDay{Client: gt.Victim, Day: d}]
+			if ca == nil {
+				continue
+			}
+			if ca.Total >= th.MinPackets {
+				vis = true
+			}
+			share, cand := ca.ShareOf(candidates)
+			if cand > 0 && ca.Total >= th.MinPackets && share >= th.MinShare {
+				hit = true
+			}
+		}
+		if vis {
+			total++
+			if hit {
+				detected++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(detected) / float64(total)
+}
+
+// VisibilityCurve computes Fig. 5's curves: for each minimum packet
+// threshold, the fraction of ground-truth attacks (and of all client
+// days) that remain visible, plus the number of detections under the
+// share threshold.
+type VisibilityPoint struct {
+	MinPackets       int
+	GroundTruthShare float64
+	AllFlowsShare    float64
+	Detections       int
+}
+
+// VisibilityCurve sweeps the minimum packet threshold.
+func VisibilityCurve(ag *Aggregator, visible []GroundTruthAttack, candidates map[string]bool, share float64, thresholds []int) []VisibilityPoint {
+	// Pre-compute ground-truth per-attack max daily packet count.
+	var gtMax []int
+	for _, gt := range visible {
+		best := 0
+		for _, d := range gt.Days() {
+			if ca := ag.Clients[ClientDay{Client: gt.Victim, Day: d}]; ca != nil && ca.Total > best {
+				best = ca.Total
+			}
+		}
+		if best > 0 {
+			gtMax = append(gtMax, best)
+		}
+	}
+	var out []VisibilityPoint
+	for _, mp := range thresholds {
+		pt := VisibilityPoint{MinPackets: mp}
+		vis := 0
+		for _, v := range gtMax {
+			if v >= mp {
+				vis++
+			}
+		}
+		if len(gtMax) > 0 {
+			pt.GroundTruthShare = float64(vis) / float64(len(gtMax))
+		}
+		all, allVis := 0, 0
+		for _, ca := range ag.Clients {
+			all++
+			if ca.Total >= mp {
+				allVis++
+			}
+		}
+		if all > 0 {
+			pt.AllFlowsShare = float64(allVis) / float64(all)
+		}
+		pt.Detections = len(Detect(ag, candidates, Thresholds{MinShare: share, MinPackets: mp}))
+		out = append(out, pt)
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"sort"
+
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/simclock"
+	"dnsamp/internal/stats"
+)
+
+// SelectorResult is one selector's ranked name list.
+type SelectorResult struct {
+	// Ranked is the full ranking, best first.
+	Ranked []string
+}
+
+// Top returns the first n names of the ranking.
+func (r SelectorResult) Top(n int) []string {
+	if n > len(r.Ranked) {
+		n = len(r.Ranked)
+	}
+	return r.Ranked[:n]
+}
+
+// TopSet returns the first n names as a set.
+func (r SelectorResult) TopSet(n int) map[string]bool {
+	return stats.SetOf(r.Top(n))
+}
+
+// Selector1MaxSize ranks names by the maximum observed response size
+// (§4.1, Selector 1).
+func Selector1MaxSize(ag *Aggregator) SelectorResult {
+	return rankNames(ag, func(ns *NameStats) int { return ns.MaxSize })
+}
+
+// Selector2ANYCount ranks names by the number of ANY packets (§4.1,
+// Selector 2).
+func Selector2ANYCount(ag *Aggregator) SelectorResult {
+	return rankNames(ag, func(ns *NameStats) int { return ns.ANYPackets })
+}
+
+func rankNames(ag *Aggregator, score func(*NameStats) int) SelectorResult {
+	type nv struct {
+		name string
+		v    int
+	}
+	list := make([]nv, 0, len(ag.Names))
+	for n, ns := range ag.Names {
+		if s := score(ns); s > 0 {
+			list = append(list, nv{n, s})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].v != list[j].v {
+			return list[i].v > list[j].v
+		}
+		return list[i].name < list[j].name
+	})
+	ranked := make([]string, len(list))
+	for i, e := range list {
+		ranked[i] = e.name
+	}
+	return SelectorResult{Ranked: ranked}
+}
+
+// GroundTruthAttack is a honeypot-reported attack (victim and time span)
+// used by Selector 3 and for threshold validation.
+type GroundTruthAttack struct {
+	Victim [4]byte
+	Start  simclock.Time
+	End    simclock.Time
+}
+
+// Days enumerates the day keys the attack spans.
+func (g GroundTruthAttack) Days() []int {
+	var out []int
+	for d := g.Start.Day(); d <= g.End.Day(); d++ {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Selector3GroundTruth ranks names by their packet counts in IXP traffic
+// associated with honeypot attack victims at attack time (§4.1,
+// Selector 3). It also returns the set of ground-truth attacks for which
+// any IXP DNS traffic was found ("we find DNS attack traffic for 16% of
+// all CCC DNS attack events").
+func Selector3GroundTruth(ag *Aggregator, attacks []GroundTruthAttack) (SelectorResult, []GroundTruthAttack) {
+	counts := make(map[string]int)
+	var visible []GroundTruthAttack
+	for _, gt := range attacks {
+		found := false
+		for _, d := range gt.Days() {
+			ca := ag.Clients[ClientDay{Client: gt.Victim, Day: d}]
+			if ca == nil {
+				continue
+			}
+			found = true
+			for n, c := range ca.Tracked {
+				counts[n] += c
+			}
+		}
+		if found {
+			visible = append(visible, gt)
+		}
+	}
+	type nv struct {
+		name string
+		v    int
+	}
+	list := make([]nv, 0, len(counts))
+	for n, v := range counts {
+		list = append(list, nv{n, v})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].v != list[j].v {
+			return list[i].v > list[j].v
+		}
+		return list[i].name < list[j].name
+	})
+	ranked := make([]string, len(list))
+	for i, e := range list {
+		ranked[i] = e.name
+	}
+	return SelectorResult{Ranked: ranked}, visible
+}
+
+// ConsensusPoint computes the selector-consensus curve (Fig. 3): the
+// Jaccard index of the selectors' top-N sets for N = 1..maxN, and
+// returns the N with the highest consensus (ties resolved toward the
+// larger N, matching the paper's choice of the knee at 29).
+func ConsensusPoint(maxN int, selectors ...SelectorResult) (bestN int, curve []float64) {
+	curve = make([]float64, maxN+1)
+	best := -1.0
+	for n := 1; n <= maxN; n++ {
+		sets := make([]map[string]bool, len(selectors))
+		for i, s := range selectors {
+			sets[i] = s.TopSet(n)
+		}
+		j := stats.MultiJaccard(sets...)
+		curve[n] = j
+		if j >= best {
+			best = j
+			bestN = n
+		}
+	}
+	return bestN, curve
+}
+
+// NameList is the final misused-name list: the union of the selectors'
+// top-N sets at the consensus point.
+type NameList struct {
+	// N is the per-selector list size (the consensus point).
+	N int
+	// Names is the merged candidate set.
+	Names map[string]bool
+	// PerSelector records each selector's top-N set for overlap
+	// reporting (§4.1's intersections).
+	PerSelector []map[string]bool
+}
+
+// BuildNameList merges the selectors at size n.
+func BuildNameList(n int, selectors ...SelectorResult) *NameList {
+	nl := &NameList{N: n, Names: make(map[string]bool)}
+	for _, s := range selectors {
+		set := s.TopSet(n)
+		nl.PerSelector = append(nl.PerSelector, set)
+		for name := range set {
+			nl.Names[name] = true
+		}
+	}
+	return nl
+}
+
+// Sorted returns the candidate names sorted by TLD share convention
+// (plain lexicographic here).
+func (nl *NameList) Sorted() []string {
+	out := make([]string, 0, len(nl.Names))
+	for n := range nl.Names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MutualCount returns how many names all selectors agree on.
+func (nl *NameList) MutualCount() int {
+	if len(nl.PerSelector) == 0 {
+		return 0
+	}
+	n := 0
+outer:
+	for name := range nl.PerSelector[0] {
+		for _, s := range nl.PerSelector[1:] {
+			if !s[name] {
+				continue outer
+			}
+		}
+		n++
+	}
+	return n
+}
+
+// GovShare returns the fraction of candidates under .gov.
+func (nl *NameList) GovShare() float64 {
+	if len(nl.Names) == 0 {
+		return 0
+	}
+	gov := 0
+	for n := range nl.Names {
+		if dnswire.TLD(n) == "gov" {
+			gov++
+		}
+	}
+	return float64(gov) / float64(len(nl.Names))
+}

@@ -1,0 +1,286 @@
+// Package dnssec models DNSSEC signing material and ZSK rollover schemes.
+//
+// The paper's Fig. 8b shows that the ANY response size of misused .gov
+// names plateaus for two weeks at a time because their operators run
+// automated double-signature ZSK rollovers: during a rollover the zone
+// carries an extra DNSKEY record and a second, redundant RRSIG per RRset,
+// inflating every signed response. This package reproduces exactly that
+// mechanism — response sizes are computed from the actual DNSKEY/RRSIG
+// record sets in force at a given simulated time, not hard-coded.
+package dnssec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/simclock"
+)
+
+// Scheme selects the ZSK rollover discipline of RFC 6781.
+type Scheme int
+
+// Rollover schemes.
+const (
+	// PrePublish introduces the new ZSK in stand-by (published but not
+	// signing): one extra DNSKEY during the rollover, signature count
+	// unchanged. Best practice (§6.1).
+	PrePublish Scheme = iota
+	// DoubleSignature keeps both ZSKs actively signing: one extra
+	// DNSKEY and a doubled RRSIG set during the rollover. This is the
+	// scheme the paper observes on the misused .gov names.
+	DoubleSignature
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	if s == DoubleSignature {
+		return "double-signature"
+	}
+	return "pre-publish"
+}
+
+// Key material sizes (bytes of DNSKEY public-key rdata / RRSIG signature).
+const (
+	RSA2048KeyLen = 260 // 4-byte exponent header + 256-byte modulus
+	RSA2048SigLen = 256
+	RSA1024KeyLen = 132
+	RSA1024SigLen = 128
+	ECDSAKeyLen   = 64
+	ECDSASigLen   = 64
+)
+
+// KeyLen returns the public-key rdata size for an algorithm.
+func KeyLen(alg uint8) int {
+	if alg == dnswire.AlgECDSAP256SHA256 {
+		return ECDSAKeyLen
+	}
+	return RSA2048KeyLen
+}
+
+// SigLen returns the signature size for an algorithm.
+func SigLen(alg uint8) int {
+	if alg == dnswire.AlgECDSAP256SHA256 {
+		return ECDSASigLen
+	}
+	return RSA2048SigLen
+}
+
+// Signer holds the signing configuration of one zone.
+type Signer struct {
+	Zone      string
+	Algorithm uint8
+	Scheme    Scheme
+	// Interval is the time between consecutive rollover starts.
+	Interval simclock.Duration
+	// Overlap is how long old and new ZSK coexist ("plateaus ... last
+	// two weeks", §6.1).
+	Overlap simclock.Duration
+	// Phase shifts the rollover schedule so that different zones roll
+	// at different times.
+	Phase simclock.Duration
+	// KSKs are long-lived; we model a single static KSK.
+	kskTag uint16
+}
+
+// NewSigner builds a signer with the paper-typical cadence: rollovers
+// every interval days with a 14-day overlap.
+func NewSigner(zone string, alg uint8, scheme Scheme, intervalDays int, phase simclock.Duration) *Signer {
+	return &Signer{
+		Zone:      dnswire.CanonicalName(zone),
+		Algorithm: alg,
+		Scheme:    scheme,
+		Interval:  simclock.Days(intervalDays),
+		Overlap:   simclock.Days(14),
+		Phase:     phase,
+		kskTag:    keyTag(zone, 0, true),
+	}
+}
+
+// State is the signing material in force at one instant.
+type State struct {
+	// ZSKTags lists the ZSK key tags published in the DNSKEY RRset
+	// (one normally, two during a rollover).
+	ZSKTags []uint16
+	// KSKTag is the (static) key-signing key.
+	KSKTag uint16
+	// SigsPerRRset is how many RRSIGs cover each authoritative RRset:
+	// 1 normally; 2 during a double-signature rollover.
+	SigsPerRRset int
+	// InRollover reports whether a rollover overlap is in progress.
+	InRollover bool
+	// Generation is the index of the current (oldest active) ZSK.
+	Generation int
+}
+
+// At computes the signing state at time t. Generations advance every
+// Interval; during the first Overlap of each generation the previous key
+// is still present.
+func (s *Signer) At(t simclock.Time) State {
+	if s.Interval <= 0 {
+		return State{ZSKTags: []uint16{keyTag(s.Zone, 0, false)}, KSKTag: s.kskTag, SigsPerRRset: 1}
+	}
+	rel := int64(t) + int64(s.Phase)
+	gen := int(rel / int64(s.Interval))
+	if rel < 0 {
+		gen--
+	}
+	into := rel - int64(gen)*int64(s.Interval)
+	st := State{
+		KSKTag:       s.kskTag,
+		SigsPerRRset: 1,
+		Generation:   gen,
+	}
+	cur := keyTag(s.Zone, gen, false)
+	if into < int64(s.Overlap) && gen > 0 {
+		prev := keyTag(s.Zone, gen-1, false)
+		st.InRollover = true
+		switch s.Scheme {
+		case DoubleSignature:
+			// Both keys sign: two DNSKEYs, two RRSIGs per set.
+			st.ZSKTags = []uint16{prev, cur}
+			st.SigsPerRRset = 2
+		default: // PrePublish
+			// New key published in stand-by; old key still signs alone.
+			st.ZSKTags = []uint16{prev, cur}
+			st.SigsPerRRset = 1
+		}
+	} else {
+		st.ZSKTags = []uint16{cur}
+	}
+	return st
+}
+
+// DNSKEYRecords materializes the DNSKEY RRset at time t.
+func (s *Signer) DNSKEYRecords(t simclock.Time, ttl uint32) []dnswire.RR {
+	st := s.At(t)
+	out := make([]dnswire.RR, 0, len(st.ZSKTags)+1)
+	for _, tag := range st.ZSKTags {
+		out = append(out, dnswire.RR{
+			Name: s.Zone, Type: dnswire.TypeDNSKEY, Class: dnswire.ClassIN, TTL: ttl,
+			Data: dnswire.DNSKEYData{
+				Flags: dnswire.DNSKEYFlagZSK, Protocol: 3, Algorithm: s.Algorithm,
+				PublicKey: syntheticKeyMaterial(s.Zone, tag, KeyLen(s.Algorithm)),
+			},
+		})
+	}
+	out = append(out, dnswire.RR{
+		Name: s.Zone, Type: dnswire.TypeDNSKEY, Class: dnswire.ClassIN, TTL: ttl,
+		Data: dnswire.DNSKEYData{
+			Flags: dnswire.DNSKEYFlagKSK, Protocol: 3, Algorithm: s.Algorithm,
+			PublicKey: syntheticKeyMaterial(s.Zone, st.KSKTag, KeyLen(s.Algorithm)),
+		},
+	})
+	return out
+}
+
+// Sign produces the RRSIG records covering an RRset of the given type at
+// time t — one per actively signing ZSK (two during a double-signature
+// rollover), except DNSKEY RRsets, which the KSK signs.
+func (s *Signer) Sign(t simclock.Time, owner string, covered dnswire.Type, ttl uint32) []dnswire.RR {
+	st := s.At(t)
+	labels := uint8(countLabels(owner))
+	mk := func(tag uint16) dnswire.RR {
+		return dnswire.RR{
+			Name: dnswire.CanonicalName(owner), Type: dnswire.TypeRRSIG, Class: dnswire.ClassIN, TTL: ttl,
+			Data: dnswire.RRSIGData{
+				TypeCovered: covered,
+				Algorithm:   s.Algorithm,
+				Labels:      labels,
+				OriginalTTL: ttl,
+				Expiration:  uint32(t.Add(simclock.Days(14))),
+				Inception:   uint32(t.Add(-simclock.Days(1))),
+				KeyTag:      tag,
+				SignerName:  s.Zone,
+				Signature:   syntheticKeyMaterial(s.Zone, tag^uint16(covered), SigLen(s.Algorithm)),
+			},
+		}
+	}
+	if covered == dnswire.TypeDNSKEY {
+		sigs := []dnswire.RR{mk(st.KSKTag)}
+		// During double-signature rollovers some signers also emit a
+		// ZSK signature over DNSKEY; we keep the conservative single
+		// KSK signature.
+		return sigs
+	}
+	var out []dnswire.RR
+	if st.SigsPerRRset >= 2 && len(st.ZSKTags) >= 2 {
+		out = append(out, mk(st.ZSKTags[0]), mk(st.ZSKTags[1]))
+	} else {
+		// The newest key signs (pre-publish: old key until swap).
+		out = append(out, mk(st.ZSKTags[0]))
+	}
+	return out
+}
+
+// SignatureOverheadAt returns the extra bytes that DNSSEC adds to an ANY
+// response containing nRRsets authoritative RRsets at time t: the DNSKEY
+// RRset itself plus all RRSIGs. This is the quantity whose time series
+// produces the Fig. 8b plateaus.
+func (s *Signer) SignatureOverheadAt(t simclock.Time, owner string, nRRsets int, ttl uint32) int {
+	total := 0
+	for _, rr := range s.DNSKEYRecords(t, ttl) {
+		total += rrWireLen(rr)
+	}
+	for _, rr := range s.Sign(t, s.Zone, dnswire.TypeDNSKEY, ttl) {
+		total += rrWireLen(rr)
+	}
+	perSet := s.Sign(t, owner, dnswire.TypeA, ttl) // representative covered type
+	setLen := 0
+	for _, rr := range perSet {
+		setLen += rrWireLen(rr)
+	}
+	return total + nRRsets*setLen
+}
+
+// rrWireLen is the uncompressed wire length of one RR.
+func rrWireLen(rr dnswire.RR) int {
+	return dnswire.EncodedNameLen(rr.Name) + 10 + rr.Data.WireLen()
+}
+
+// keyTag derives a stable synthetic key tag for (zone, generation, ksk).
+func keyTag(zone string, gen int, ksk bool) uint16 {
+	h := sha256.New()
+	h.Write([]byte(zone))
+	var b [9]byte
+	binary.BigEndian.PutUint64(b[:8], uint64(int64(gen)))
+	if ksk {
+		b[8] = 1
+	}
+	h.Write(b[:])
+	sum := h.Sum(nil)
+	tag := binary.BigEndian.Uint16(sum[:2])
+	if tag == 0 {
+		tag = 1
+	}
+	return tag
+}
+
+// syntheticKeyMaterial produces deterministic pseudo-random bytes of the
+// requested length; only the size matters for amplification analysis.
+func syntheticKeyMaterial(zone string, tag uint16, n int) []byte {
+	out := make([]byte, 0, n)
+	var ctr uint32
+	for len(out) < n {
+		h := sha256.New()
+		fmt.Fprintf(h, "%s/%d/%d", zone, tag, ctr)
+		out = h.Sum(out)
+		ctr++
+	}
+	return out[:n]
+}
+
+func countLabels(name string) int {
+	name = dnswire.CanonicalName(name)
+	if name == "." {
+		return 0
+	}
+	n := 0
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,412 @@
+package dnswire
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0xBEEF, "doj.gov", TypeANY, 4096)
+	wire := Encode(q)
+	res, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Error("complete message reported incomplete")
+	}
+	m := res.Msg
+	if m.Header.ID != 0xBEEF {
+		t.Errorf("id = %#x", m.Header.ID)
+	}
+	if !m.IsQuery() {
+		t.Error("query flagged as response")
+	}
+	if m.QName() != "doj.gov." {
+		t.Errorf("qname = %q", m.QName())
+	}
+	if m.QType() != TypeANY {
+		t.Errorf("qtype = %v", m.QType())
+	}
+	if m.EDNSPayloadSize() != 4096 {
+		t.Errorf("edns size = %d", m.EDNSPayloadSize())
+	}
+	if !m.Header.RD {
+		t.Error("RD not set")
+	}
+}
+
+func TestEDNSDefault(t *testing.T) {
+	q := NewQuery(1, "example.com", TypeA, 0)
+	if q.EDNSPayloadSize() != 512 {
+		t.Errorf("no-OPT payload size = %d, want 512", q.EDNSPayloadSize())
+	}
+}
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func bigResponse() *Message {
+	q := NewQuery(7, "nsf.gov", TypeANY, 4096)
+	r := NewResponse(q)
+	r.Header.AA = true
+	key := make([]byte, 260)
+	sig := make([]byte, 256)
+	r.Answers = []RR{
+		{Name: "nsf.gov.", Type: TypeA, Class: ClassIN, TTL: 300, Data: AData{mustAddr("192.0.2.10")}},
+		{Name: "nsf.gov.", Type: TypeAAAA, Class: ClassIN, TTL: 300, Data: AAAAData{mustAddr("2001:db8::10")}},
+		{Name: "nsf.gov.", Type: TypeNS, Class: ClassIN, TTL: 3600, Data: NameData{"ns1.nsf.gov."}},
+		{Name: "nsf.gov.", Type: TypeNS, Class: ClassIN, TTL: 3600, Data: NameData{"ns2.nsf.gov."}},
+		{Name: "nsf.gov.", Type: TypeSOA, Class: ClassIN, TTL: 3600, Data: SOAData{MName: "ns1.nsf.gov.", RName: "hostmaster.nsf.gov.", Serial: 2019060100, Refresh: 7200, Retry: 3600, Expire: 1209600, Min: 300}},
+		{Name: "nsf.gov.", Type: TypeMX, Class: ClassIN, TTL: 3600, Data: MXData{Pref: 10, Host: "mail.nsf.gov."}},
+		{Name: "nsf.gov.", Type: TypeTXT, Class: ClassIN, TTL: 300, Data: TXTData{[]string{"v=spf1 include:_spf.nsf.gov ~all"}}},
+		{Name: "nsf.gov.", Type: TypeDNSKEY, Class: ClassIN, TTL: 3600, Data: DNSKEYData{Flags: DNSKEYFlagZSK, Protocol: 3, Algorithm: AlgRSASHA256, PublicKey: key}},
+		{Name: "nsf.gov.", Type: TypeDNSKEY, Class: ClassIN, TTL: 3600, Data: DNSKEYData{Flags: DNSKEYFlagKSK, Protocol: 3, Algorithm: AlgRSASHA256, PublicKey: key}},
+		{Name: "nsf.gov.", Type: TypeRRSIG, Class: ClassIN, TTL: 3600, Data: RRSIGData{TypeCovered: TypeDNSKEY, Algorithm: AlgRSASHA256, Labels: 2, OriginalTTL: 3600, Expiration: 1567296000, Inception: 1559347200, KeyTag: 12345, SignerName: "nsf.gov.", Signature: sig}},
+		{Name: "nsf.gov.", Type: TypeNSEC, Class: ClassIN, TTL: 300, Data: NSECData{NextName: "a.nsf.gov.", Types: []Type{TypeA, TypeNS, TypeSOA, TypeRRSIG, TypeNSEC, TypeDNSKEY}}},
+		{Name: "nsf.gov.", Type: TypeSRV, Class: ClassIN, TTL: 300, Data: SRVData{Priority: 1, Weight: 5, Port: 443, Target: "www.nsf.gov."}},
+		{Name: "nsf.gov.", Type: TypeURI, Class: ClassIN, TTL: 300, Data: URIData{Priority: 1, Weight: 1, Target: "https://www.nsf.gov/"}},
+		{Name: "nsf.gov.", Type: TypeCAA, Class: ClassIN, TTL: 300, Data: CAAData{Flags: 0, Tag: "issue", Value: "letsencrypt.org"}},
+		{Name: "nsf.gov.", Type: TypeDS, Class: ClassIN, TTL: 3600, Data: DSData{KeyTag: 99, Algorithm: AlgRSASHA256, DigestType: 2, Digest: make([]byte, 32)}},
+		{Name: "nsf.gov.", Type: TypePTR, Class: ClassIN, TTL: 300, Data: NameData{"host.nsf.gov."}},
+	}
+	return r
+}
+
+func TestFullResponseRoundTrip(t *testing.T) {
+	r := bigResponse()
+	wire := Encode(r)
+	res, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("expected complete parse")
+	}
+	m := res.Msg
+	if len(m.Answers) != len(r.Answers) {
+		t.Fatalf("answers = %d, want %d", len(m.Answers), len(r.Answers))
+	}
+	for i, rr := range m.Answers {
+		if rr.Type != r.Answers[i].Type {
+			t.Errorf("answer %d type = %v, want %v", i, rr.Type, r.Answers[i].Type)
+		}
+		if rr.Name != "nsf.gov." {
+			t.Errorf("answer %d name = %q", i, rr.Name)
+		}
+	}
+	// Spot-check a few decoded rdata values.
+	if a := m.Answers[0].Data.(AData); a.Addr.String() != "192.0.2.10" {
+		t.Errorf("A = %v", a.Addr)
+	}
+	if ns := m.Answers[2].Data.(NameData); ns.Target != "ns1.nsf.gov." {
+		t.Errorf("NS = %q", ns.Target)
+	}
+	soa := m.Answers[4].Data.(SOAData)
+	if soa.Serial != 2019060100 || soa.MName != "ns1.nsf.gov." {
+		t.Errorf("SOA = %+v", soa)
+	}
+	dk := m.Answers[7].Data.(DNSKEYData)
+	if len(dk.PublicKey) != 260 || !dk.IsZSK() {
+		t.Errorf("DNSKEY = flags %d, keylen %d", dk.Flags, len(dk.PublicKey))
+	}
+	ksk := m.Answers[8].Data.(DNSKEYData)
+	if ksk.IsZSK() {
+		t.Error("KSK misclassified as ZSK")
+	}
+	sig := m.Answers[9].Data.(RRSIGData)
+	if sig.TypeCovered != TypeDNSKEY || len(sig.Signature) != 256 || sig.SignerName != "nsf.gov." {
+		t.Errorf("RRSIG = %+v", sig)
+	}
+	srv := m.Answers[11].Data.(SRVData)
+	if srv.Port != 443 || srv.Target != "www.nsf.gov." {
+		t.Errorf("SRV = %+v", srv)
+	}
+	uri := m.Answers[12].Data.(URIData)
+	if uri.Target != "https://www.nsf.gov/" {
+		t.Errorf("URI = %+v", uri)
+	}
+	caa := m.Answers[13].Data.(CAAData)
+	if caa.Tag != "issue" || caa.Value != "letsencrypt.org" {
+		t.Errorf("CAA = %+v", caa)
+	}
+}
+
+func TestTruncatedParsePartial(t *testing.T) {
+	r := bigResponse()
+	wire := Encode(r)
+	if len(wire) < 200 {
+		t.Fatalf("test response too small: %d bytes", len(wire))
+	}
+	// Cut at the 128-byte IXP snaplen (minus the 42 bytes of L2-L4
+	// headers the IXP frame would carry, DNS sees ~86 bytes; use 86).
+	res, err := Parse(wire[:86])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Error("truncated message reported complete")
+	}
+	if res.Msg.QName() != "nsf.gov." {
+		t.Errorf("truncated qname = %q", res.Msg.QName())
+	}
+	if res.Msg.Header.ANCount != uint16(len(r.Answers)) {
+		t.Errorf("header ANCount lost: %d", res.Msg.Header.ANCount)
+	}
+	// The paper observes ~2 RRs visible per truncated response.
+	if res.DecodedAnswers == 0 {
+		t.Error("expected at least one decodable answer in first 86 bytes")
+	}
+}
+
+func TestParseHeaderOnlyFails(t *testing.T) {
+	if _, err := Parse([]byte{0, 1, 2}); err == nil {
+		t.Error("short message should fail")
+	}
+	// Header claims a question but there is none.
+	q := NewQuery(1, "example.com", TypeA, 0)
+	wire := Encode(q)
+	if _, err := Parse(wire[:HeaderLen+1]); err == nil {
+		t.Error("unreadable first question should fail")
+	}
+}
+
+func TestNameCompression(t *testing.T) {
+	// Multiple records sharing a suffix must compress.
+	m := &Message{
+		Header:    Header{ID: 1, QR: true},
+		Questions: []Question{{Name: "a.example.com.", Type: TypeA, Class: ClassIN}},
+	}
+	for i := 0; i < 10; i++ {
+		m.Answers = append(m.Answers, RR{
+			Name: "a.example.com.", Type: TypeA, Class: ClassIN, TTL: 60,
+			Data: AData{mustAddr("192.0.2.1")},
+		})
+	}
+	wire := Encode(m)
+	// Uncompressed: each answer name costs 15 bytes; compressed: 2.
+	uncompressed := HeaderLen + (15 + 4) + 10*(15+10+4)
+	if len(wire) >= uncompressed {
+		t.Errorf("no compression: %d bytes >= %d", len(wire), uncompressed)
+	}
+	res, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || len(res.Msg.Answers) != 10 {
+		t.Fatalf("compressed parse incomplete: %+v", res)
+	}
+	for _, rr := range res.Msg.Answers {
+		if rr.Name != "a.example.com." {
+			t.Errorf("decompressed name = %q", rr.Name)
+		}
+	}
+}
+
+func TestPointerLoopRejected(t *testing.T) {
+	// Craft a message whose name is a self-pointer.
+	b := make([]byte, HeaderLen+4)
+	b[5] = 1 // QDCount = 1
+	b[HeaderLen] = 0xc0
+	b[HeaderLen+1] = byte(HeaderLen) // points at itself
+	if _, err := Parse(b); err == nil {
+		t.Error("self-pointing name should fail")
+	}
+}
+
+func TestEncodedNameLen(t *testing.T) {
+	cases := []struct {
+		name string
+		want int
+	}{
+		{".", 1},
+		{"", 1},
+		{"gov", 5},
+		{"gov.", 5},
+		{"doj.gov.", 9},
+		{"a.b.c.", 7},
+	}
+	for _, c := range cases {
+		if got := EncodedNameLen(c.name); got != c.want {
+			t.Errorf("EncodedNameLen(%q) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestWireSizeMatchesEncodedLen(t *testing.T) {
+	r := bigResponse()
+	if WireSize(r) != len(Encode(r)) {
+		t.Error("WireSize disagrees with Encode length")
+	}
+}
+
+func TestValidName(t *testing.T) {
+	valid := []string{".", "gov.", "doj.gov.", "a-b.example.com.", "_sip._tcp.example.com.", "x123.io"}
+	for _, n := range valid {
+		if !ValidName(n) {
+			t.Errorf("ValidName(%q) = false, want true", n)
+		}
+	}
+	invalid := []string{"", "..", "a..b.", "exa mple.com.", "bad\x00name.", strings.Repeat("a", 64) + ".com.", strings.Repeat("abcdefgh.", 32)}
+	for _, n := range invalid {
+		if ValidName(n) {
+			t.Errorf("ValidName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestCanonicalName(t *testing.T) {
+	cases := [][2]string{
+		{"DOJ.GOV", "doj.gov."},
+		{"doj.gov.", "doj.gov."},
+		{"", "."},
+		{".", "."},
+	}
+	for _, c := range cases {
+		if got := CanonicalName(c[0]); got != c[1] {
+			t.Errorf("CanonicalName(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestTLD(t *testing.T) {
+	cases := [][2]string{
+		{"doj.gov.", "gov"},
+		{"example.co.za.", "za"},
+		{".", "."},
+		{"com.", "com"},
+	}
+	for _, c := range cases {
+		if got := TLD(c[0]); got != c[1] {
+			t.Errorf("TLD(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if TypeANY.String() != "ANY" || TypeRRSIG.String() != "RRSIG" {
+		t.Error("type names wrong")
+	}
+	if Type(9999).String() != "TYPE9999" {
+		t.Error("unknown type string wrong")
+	}
+	if tt, ok := ParseType("DNSKEY"); !ok || tt != TypeDNSKEY {
+		t.Error("ParseType failed")
+	}
+	if _, ok := ParseType("NOPE"); ok {
+		t.Error("ParseType accepted junk")
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" {
+		t.Error("rcode name wrong")
+	}
+	if RCode(15).String() != "RCODE15" {
+		t.Error("unknown rcode string wrong")
+	}
+}
+
+func TestHeaderFlagsRoundTrip(t *testing.T) {
+	f := func(id uint16, qr, aa, tc, rd, ra, ad, cd bool, op, rc uint8) bool {
+		h := Header{
+			ID: id, QR: qr, AA: aa, TC: tc, RD: rd, RA: ra, AD: ad, CD: cd,
+			OpCode: OpCode(op & 0xf), RCode: RCode(rc & 0xf),
+		}
+		m := &Message{Header: h, Questions: []Question{{Name: "x.test.", Type: TypeA, Class: ClassIN}}}
+		res, err := Parse(Encode(m))
+		if err != nil {
+			return false
+		}
+		g := res.Msg.Header
+		return g.ID == h.ID && g.QR == h.QR && g.AA == h.AA && g.TC == h.TC &&
+			g.RD == h.RD && g.RA == h.RA && g.AD == h.AD && g.CD == h.CD &&
+			g.OpCode == h.OpCode && g.RCode == h.RCode
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomNameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	letters := "abcdefghijklmnopqrstuvwxyz0123456789-"
+	randName := func() string {
+		labels := 1 + rng.Intn(4)
+		parts := make([]string, labels)
+		for i := range parts {
+			n := 1 + rng.Intn(12)
+			b := make([]byte, n)
+			for j := range b {
+				b[j] = letters[rng.Intn(len(letters)-1)] // avoid leading '-' mostly irrelevant
+			}
+			parts[i] = string(b)
+		}
+		return strings.Join(parts, ".") + "."
+	}
+	for i := 0; i < 300; i++ {
+		name := randName()
+		q := NewQuery(uint16(i), name, TypeTXT, 0)
+		res, err := Parse(Encode(q))
+		if err != nil {
+			t.Fatalf("name %q: %v", name, err)
+		}
+		if res.Msg.QName() != name {
+			t.Fatalf("round trip %q -> %q", name, res.Msg.QName())
+		}
+	}
+}
+
+func TestTXTDataWireLen(t *testing.T) {
+	long := strings.Repeat("x", 600)
+	d := TXTData{[]string{long}}
+	enc := d.appendTo(nil)
+	if len(enc) != d.WireLen() {
+		t.Errorf("TXT WireLen %d != encoded %d", d.WireLen(), len(enc))
+	}
+	empty := TXTData{}
+	if empty.WireLen() != 1 {
+		t.Errorf("empty TXT WireLen = %d, want 1", empty.WireLen())
+	}
+}
+
+func TestAllRDataWireLenMatchesEncoding(t *testing.T) {
+	r := bigResponse()
+	for i, rr := range r.Answers {
+		enc := rr.Data.appendTo(nil)
+		if len(enc) != rr.Data.WireLen() {
+			t.Errorf("answer %d (%v): WireLen %d != encoded %d", i, rr.Type, rr.Data.WireLen(), len(enc))
+		}
+	}
+}
+
+func TestNSECBitmap(t *testing.T) {
+	d := NSECData{NextName: "b.example.", Types: []Type{TypeA, TypeCAA}}
+	enc := d.appendTo(nil)
+	if len(enc) != d.WireLen() {
+		t.Fatalf("NSEC WireLen mismatch: %d vs %d", d.WireLen(), len(enc))
+	}
+	// Two windows: 0 (A) and 1 (CAA=257).
+	m := &Message{
+		Header:    Header{QR: true},
+		Questions: []Question{{Name: "a.example.", Type: TypeNSEC, Class: ClassIN}},
+		Answers:   []RR{{Name: "a.example.", Type: TypeNSEC, Class: ClassIN, TTL: 60, Data: d}},
+	}
+	res, err := Parse(Encode(m))
+	if err != nil || !res.Complete {
+		t.Fatalf("NSEC parse: %v", err)
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	q := NewQuery(5, "doj.gov", TypeANY, 4096)
+	s := q.String()
+	if !strings.Contains(s, "doj.gov.") || !strings.Contains(s, "ANY") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRecommendedEDNSLimit(t *testing.T) {
+	if RecommendedEDNSLimit != 4096 {
+		t.Error("EDNS limit constant changed")
+	}
+}

@@ -1,0 +1,312 @@
+// Package ecosystem is the generative model of the DNS amplification
+// attack ecosystem: the amplifier population with its churn, the major
+// attack entity with its name rotation and attack-tool quirks, the long
+// tail of independent attackers, and the materialization of all traffic
+// the four vantage points observe (IXP samples, honeypot requests).
+//
+// Nothing in this package "knows" the analysis results: the paper's
+// findings (TXID structure, relocations, amplifier-set clusters, ...)
+// must emerge from the mechanics encoded here and be re-derived by the
+// detection and analysis pipeline.
+package ecosystem
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"dnsamp/internal/resolver"
+	"dnsamp/internal/simclock"
+	"dnsamp/internal/stats"
+	"dnsamp/internal/topology"
+)
+
+// Amplifier is one abusable DNS endpoint.
+type Amplifier struct {
+	ID   int
+	Addr netip.Addr
+	ASN  uint32
+	Kind resolver.Kind
+	// Born and Died bound the reachability window: outside it the
+	// address no longer answers (dynamic re-addressing, closed
+	// resolver, ...). Died may lie beyond the observation horizon.
+	Born, Died simclock.Time
+	// EDNSCap is the largest UDP response the endpoint emits (0 means
+	// unbounded within the message size).
+	EDNSCap int
+	// MinimalANY marks RFC 8482 endpoints: useless for ANY attacks.
+	MinimalANY bool
+	// RRL marks endpoints with response rate limiting.
+	RRL bool
+	// Upstream is the shared recursive resolver index for forwarders
+	// (-1 otherwise). Individual upstreams serve up to tens of
+	// thousands of forwarders (§8).
+	Upstream int
+	// InitTTL is the initial IP TTL of its OS (64/128/255).
+	InitTTL uint8
+	// PathLen is the hop count from the amplifier to the IXP.
+	PathLen uint8
+}
+
+// AliveAt reports whether the amplifier answers at t.
+func (a *Amplifier) AliveAt(t simclock.Time) bool {
+	return !t.Before(a.Born) && t.Before(a.Died)
+}
+
+// ObservedTTL is the IP TTL its responses carry at the IXP.
+func (a *Amplifier) ObservedTTL() uint8 { return a.InitTTL - a.PathLen }
+
+// PoolConfig controls amplifier population synthesis.
+type PoolConfig struct {
+	// Size is the total number of amplifiers ever existing across the
+	// scan-history horizon (2016-2020).
+	Size int
+	// AuthoritativeShare is the fraction of authoritative servers
+	// (paper: ~2% of abused amplifiers, §7.1).
+	AuthoritativeShare float64
+	// ForwarderShare of the non-authoritative part (paper: 98% of open
+	// amplifiers are forwarders).
+	ForwarderShare float64
+	Seed           int64
+}
+
+// DefaultPoolConfig sizes the pool so that the alive population during
+// the main period comfortably exceeds the abused set (at paper scale:
+// ~2M reachable open resolvers vs 45k abused).
+func DefaultPoolConfig() PoolConfig {
+	return PoolConfig{Size: 280_000, AuthoritativeShare: 0.02, ForwarderShare: 0.98, Seed: 2}
+}
+
+// Pool is the amplifier population.
+type Pool struct {
+	Amps []Amplifier
+	// byBirth is sorted by Born for windowed queries.
+	byBirth []int
+	// upstreams is the number of distinct shared recursive resolvers.
+	upstreams int
+}
+
+// historyStart is the beginning of the scan-history horizon (Fig. 15's
+// x-axis starts in 2016).
+var historyStart = simclock.FromDate(2016, time.January, 1)
+
+// NewPool synthesizes the amplifier population over topo's access-heavy
+// address space.
+func NewPool(cfg PoolConfig, topo *topology.Topology) *Pool {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	access := topo.ASesOfType(topology.ASAccess)
+	hosting := topo.ASesOfType(topology.ASHosting)
+	education := topo.ASesOfType(topology.ASEducation)
+	p := &Pool{upstreams: 1 + cfg.Size/1500}
+
+	horizon := simclock.EntityTrackingEnd
+	recentStart := simclock.MeasurementStart.Add(-simclock.Days(183)) // 6 months before
+
+	// Kind selection must produce the target mix among *alive*
+	// endpoints, not among births: long-lived servers accumulate while
+	// short-lived home-gateway forwarders churn away, so birth shares
+	// are weighted by the inverse mean lifetime. Target alive mix:
+	// ~90% forwarders, ~8% open recursives, ~2% authoritative (§7.1).
+	const (
+		meanForwarderLife = 30.0 // days (heavy-tailed Pareto below)
+		meanServerLife    = 510.0
+	)
+	// The ×4 / ×3 factors correct for servers whose lifetime extends
+	// beyond the simulated horizon (their effective alive time is
+	// shorter than the nominal mean), calibrated against the abused-
+	// amplifier composition of §7.1.
+	wF := (1 - cfg.AuthoritativeShare) * cfg.ForwarderShare / meanForwarderLife
+	wR := (1 - cfg.AuthoritativeShare) * (1 - cfg.ForwarderShare) * 4 / meanServerLife
+	wA := cfg.AuthoritativeShare * 3 / meanServerLife
+	wSum := wF + wR + wA
+
+	usedAddrs := make(map[netip.Addr]bool, cfg.Size)
+
+	for i := 0; i < cfg.Size; i++ {
+		var a Amplifier
+		a.ID = i
+		switch r := rng.Float64() * wSum; {
+		case r < wA:
+			a.Kind = resolver.Authoritative
+			a.Upstream = -1
+		case r < wA+wR:
+			a.Kind = resolver.Recursive
+			a.Upstream = -1
+		default:
+			a.Kind = resolver.Forwarder
+			a.Upstream = rng.Intn(p.upstreams)
+		}
+
+		// Placement: forwarders live in access networks (home CPE);
+		// recursives and authoritatives in hosting/education space.
+		var asn uint32
+		switch a.Kind {
+		case resolver.Forwarder:
+			asn = stats.Pick(rng, access)
+		case resolver.Recursive:
+			if rng.Float64() < 0.6 {
+				asn = stats.Pick(rng, hosting)
+			} else {
+				asn = stats.Pick(rng, education)
+			}
+		default:
+			asn = stats.Pick(rng, hosting)
+		}
+		a.ASN = asn
+		// Addresses are unique across the pool: each Amplifier models
+		// one (IP, occupancy-period); re-draw on collision.
+		for {
+			addr, _ := topo.RandomAddrIn(rng, asn)
+			if !usedAddrs[addr] {
+				usedAddrs[addr] = true
+				a.Addr = addr
+				break
+			}
+		}
+
+		// Birth: ~45% appear within the six months preceding the main
+		// period ("attackers mostly use amplifiers that are not older
+		// than six months", Fig. 15); the rest spread back to 2016.
+		if rng.Float64() < 0.45 {
+			span := int(simclock.MeasurementEnd.Sub(recentStart) / simclock.Day)
+			a.Born = recentStart.Add(simclock.Days(rng.Intn(span)))
+		} else {
+			span := int(simclock.MeasurementStart.Sub(historyStart) / simclock.Day)
+			a.Born = historyStart.Add(simclock.Days(rng.Intn(span)))
+		}
+
+		// Lifetime: home-gateway forwarders churn within days to
+		// months (24 h DHCP leases, §7.1); servers live much longer.
+		var lifetimeDays int
+		if a.Kind == resolver.Forwarder {
+			lifetimeDays = int(stats.Pareto(rng, 2, 400, 0.7))
+		} else {
+			lifetimeDays = 60 + rng.Intn(900)
+		}
+		a.Died = a.Born.Add(simclock.Days(lifetimeDays))
+		if a.Died.After(horizon) {
+			a.Died = horizon
+		}
+
+		// Response behaviour mix. The EDNS caps produce the bi- and
+		// tri-modal observed size distributions of Fig. 9.
+		switch r := rng.Float64(); {
+		case r < 0.60:
+			a.EDNSCap = 0 // effectively unbounded
+		case r < 0.85:
+			a.EDNSCap = 4096
+		case r < 0.95:
+			a.EDNSCap = 1232
+		default:
+			a.EDNSCap = 512
+		}
+		a.MinimalANY = rng.Float64() < 0.03
+		a.RRL = rng.Float64() < 0.04
+
+		switch rng.Intn(3) {
+		case 0:
+			a.InitTTL = 64
+		case 1:
+			a.InitTTL = 128
+		default:
+			a.InitTTL = 255
+		}
+		a.PathLen = uint8(4 + rng.Intn(16))
+
+		p.Amps = append(p.Amps, a)
+	}
+
+	p.byBirth = make([]int, len(p.Amps))
+	for i := range p.byBirth {
+		p.byBirth[i] = i
+	}
+	sort.Slice(p.byBirth, func(i, j int) bool {
+		return p.Amps[p.byBirth[i]].Born < p.Amps[p.byBirth[j]].Born
+	})
+	return p
+}
+
+// Get returns the amplifier with the given id.
+func (p *Pool) Get(id int) *Amplifier { return &p.Amps[id] }
+
+// Len is the population size.
+func (p *Pool) Len() int { return len(p.Amps) }
+
+// Upstreams returns the number of distinct shared recursive resolvers
+// behind the forwarder population.
+func (p *Pool) Upstreams() int { return p.upstreams }
+
+// AliveIDs returns the ids of all amplifiers alive at t, ascending.
+func (p *Pool) AliveIDs(t simclock.Time) []int {
+	var out []int
+	for _, id := range p.byBirth {
+		a := &p.Amps[id]
+		if a.Born.After(t) {
+			break
+		}
+		if a.AliveAt(t) {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SampleAlive draws up to k distinct alive amplifiers at t, optionally
+// filtered by pred. It scans from a random offset to stay O(k) amortized.
+func (p *Pool) SampleAlive(rng *rand.Rand, t simclock.Time, k int, pred func(*Amplifier) bool) []int {
+	out := make([]int, 0, k)
+	n := len(p.Amps)
+	if n == 0 || k <= 0 {
+		return out
+	}
+	start := rng.Intn(n)
+	stride := 7919 // prime stride for spread; ensure it is co-prime to n
+	for n%stride == 0 {
+		stride += 2
+	}
+	seen := 0
+	for i := 0; i < n && len(out) < k; i++ {
+		id := (start + i*stride) % n
+		a := &p.Amps[id]
+		if !a.AliveAt(t) {
+			continue
+		}
+		if pred != nil && !pred(a) {
+			continue
+		}
+		out = append(out, id)
+		seen++
+	}
+	return out
+}
+
+// AddrKey converts an address to the fixed array key used in maps.
+func AddrKey(a netip.Addr) [4]byte { return a.As4() }
+
+// AddrFromKey converts back.
+func AddrFromKey(k [4]byte) netip.Addr { return netip.AddrFrom4(k) }
+
+// hashCoin returns a deterministic pseudo-random bit for a pair of
+// values, used for stable routing decisions (does the (amplifier AS,
+// victim AS) path cross the IXP?).
+func hashCoin(a, b uint32, p float64, salt uint32) bool {
+	var buf [12]byte
+	binary.BigEndian.PutUint32(buf[0:4], a)
+	binary.BigEndian.PutUint32(buf[4:8], b)
+	binary.BigEndian.PutUint32(buf[8:12], salt)
+	h := fnv64(buf[:])
+	return float64(h>>11)/float64(1<<53) < p
+}
+
+// fnv64 is a tiny inline FNV-1a.
+func fnv64(b []byte) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}

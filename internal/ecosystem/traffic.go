@@ -1,0 +1,471 @@
+package ecosystem
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/netmodel"
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+	"dnsamp/internal/stats"
+	"dnsamp/internal/topology"
+)
+
+// TaggedRecord is one sampled IXP frame plus the ingress-port metadata
+// the fabric knows (needed because spoofed packets cannot be attributed
+// by source address).
+type TaggedRecord struct {
+	Rec sflow.Record
+	// Ingress is the member ASN whose port the packet entered through;
+	// 0 lets the capture point derive it from the source address.
+	Ingress uint32
+}
+
+// SensorFlow aggregates the spoofed queries one honeypot sensor receives
+// from one attack event. The honeypot package applies the CCC inference
+// thresholds to these flows.
+type SensorFlow struct {
+	Sensor   int
+	Victim   netip.Addr
+	Start    simclock.Time
+	Duration simclock.Duration
+	Count    int
+	QName    string
+	QType    dnswire.Type
+	TXID     uint16
+	EventID  int
+}
+
+// BackgroundConfig tunes legitimate traffic synthesis.
+type BackgroundConfig struct {
+	// SamplesPerDay is the expected sampled background packets per day
+	// (paper scale: ~340k/day so that attack traffic lands at ~5% of
+	// DNS packets).
+	SamplesPerDay int
+	// Clients is the background client population size.
+	Clients int
+	// ResponseShare is the response fraction (paper: 60% requests).
+	ResponseShare float64
+	// RootShare is the share of background packets for the root name —
+	// the reason some clients show low misused-name ratios in Fig. 4.
+	RootShare float64
+	// MisusedShare is the tiny share of organic traffic for misused
+	// names (monitoring, research scanners).
+	MisusedShare float64
+	// ANYShare of background queries (debugging tools etc.); calibrated
+	// so that ~68% of ANY packets belong to attacks.
+	ANYShare float64
+}
+
+// DefaultBackgroundConfig returns paper-scale defaults (caller scales
+// SamplesPerDay and Clients).
+func DefaultBackgroundConfig() BackgroundConfig {
+	return BackgroundConfig{
+		SamplesPerDay: 340_000,
+		Clients:       120_000,
+		ResponseShare: 0.40,
+		RootShare:     0.015,
+		MisusedShare:  0.0004,
+		ANYShare:      0.025,
+	}
+}
+
+// DayTraffic is everything one simulated day produces.
+type DayTraffic struct {
+	Day simclock.Time
+	// IXP holds the sampled, truncated frames (unordered).
+	IXP []TaggedRecord
+	// Sensors holds the honeypot-side flows.
+	Sensors []SensorFlow
+}
+
+// Generator materializes traffic for a campaign.
+type Generator struct {
+	C          *Campaign
+	Sampler    *sflow.Sampler
+	Background BackgroundConfig
+	// SkipIXP suppresses IXP frame materialization, producing only the
+	// honeypot-side sensor flows. Used by analyses that re-run the
+	// honeypot inference under different thresholds (Appendix B). Note
+	// that skipping changes RNG consumption, so per-flow TXIDs differ
+	// from a full run; counts and timing do not.
+	SkipIXP bool
+
+	rng *rand.Rand
+	enc dnswire.Encoder
+
+	// respTmpl caches encoded ANY responses per (name, day).
+	respTmpl map[tmplKey]*respTemplate
+	// bgClients is the background client population.
+	bgClients []netip.Addr
+	bgZipf    *stats.Zipf
+	nameZipf  *stats.Zipf
+	servers   []netip.Addr
+}
+
+type tmplKey struct {
+	name string
+	day  int
+}
+
+type respTemplate struct {
+	prefix  []byte // first snaplen-42 bytes of the DNS payload
+	fullLen int    // full DNS message size
+}
+
+// NewGenerator builds a traffic generator. The background volume scales
+// with the campaign's Scale.
+func NewGenerator(c *Campaign, seed int64) *Generator {
+	g := &Generator{
+		C:          c,
+		Sampler:    sflow.NewSampler(seed),
+		Background: DefaultBackgroundConfig(),
+		rng:        rand.New(rand.NewSource(seed ^ 0x5eed)),
+		respTmpl:   make(map[tmplKey]*respTemplate),
+	}
+	g.Background.SamplesPerDay = scaleInt(g.Background.SamplesPerDay, c.Cfg.Scale)
+	g.Background.Clients = scaleInt(g.Background.Clients, c.Cfg.Scale)
+
+	// Background clients across all ASes; servers in hosting space.
+	asns := make([]uint32, 0, len(c.Topo.ASes))
+	for asn := range c.Topo.ASes {
+		asns = append(asns, asn)
+	}
+	sortUint32(asns)
+	for i := 0; i < g.Background.Clients; i++ {
+		asn := asns[g.rng.Intn(len(asns))]
+		addr, _ := c.Topo.RandomAddrIn(g.rng, asn)
+		g.bgClients = append(g.bgClients, addr)
+	}
+	hosting := c.Topo.ASesOfType(topology.ASHosting)
+	for i := 0; i < 400; i++ {
+		addr, _ := c.Topo.RandomAddrIn(g.rng, hosting[g.rng.Intn(len(hosting))])
+		g.servers = append(g.servers, addr)
+	}
+	g.bgZipf = stats.NewZipf(len(g.bgClients), 1.05)
+	g.nameZipf = stats.NewZipf(200_000, 1.0)
+	return g
+}
+
+// Day materializes all traffic of one simulated day.
+func (g *Generator) Day(day simclock.Time) *DayTraffic {
+	day = day.StartOfDay()
+	dt := &DayTraffic{Day: day}
+	for _, ev := range g.C.EventsOnDay(day) {
+		g.attackTraffic(dt, ev)
+	}
+	if !g.SkipIXP && simclock.MainPeriod().Contains(day) {
+		g.backgroundTraffic(dt, day)
+	}
+	return dt
+}
+
+// attackTraffic materializes one event's sampled IXP frames and honeypot
+// flows.
+func (g *Generator) attackTraffic(dt *DayTraffic, ev *AttackEvent) {
+	c := g.C
+	end := ev.End()
+	if g.SkipIXP {
+		g.sensorFlows(dt, ev)
+		return
+	}
+
+	// Responses: amplifier -> victim.
+	for _, id := range ev.Amplifiers {
+		amp := c.Pool.Get(id)
+		if !amp.AliveAt(ev.Start) {
+			continue
+		}
+		if !c.RouteViaIXP(amp.ASN, ev.VictimASN) {
+			continue
+		}
+		eff := 0.95
+		if amp.RRL {
+			eff = 0.15
+		}
+		if ev.IsEntity {
+			eff *= c.Entity.ResponseEfficiency(ev.Start)
+		}
+		n := int(float64(ev.ReqPerAmp) * eff)
+		k := g.Sampler.ThinFlow(n)
+		if k == 0 {
+			continue
+		}
+		tmpl := g.responseTemplate(ev.QName, ev.Start)
+		for i := 0; i < k; i++ {
+			t := ev.Start.Add(simclock.Duration(g.rng.Int63n(int64(ev.Duration) + 1)))
+			frame := g.buildResponseFrame(amp, ev, tmpl, t, end)
+			dt.IXP = append(dt.IXP, TaggedRecord{Rec: g.Sampler.Take(t, frame)})
+		}
+	}
+
+	// Requests: attacker -> amplifiers, visible only when the back-end
+	// sits inside a member's cone (entity phases 1-2).
+	if ev.RequestsViaIXP {
+		for _, id := range ev.Amplifiers {
+			amp := c.Pool.Get(id)
+			if c.Topo.MemberFor(amp.ASN) == ev.IngressAS {
+				continue // stays inside the ingress cone
+			}
+			k := g.Sampler.ThinFlow(ev.ReqPerAmp)
+			for i := 0; i < k; i++ {
+				t := ev.Start.Add(simclock.Duration(g.rng.Int63n(int64(ev.Duration) + 1)))
+				frame := g.buildRequestFrame(amp, ev, t, end)
+				dt.IXP = append(dt.IXP, TaggedRecord{Rec: g.Sampler.Take(t, frame), Ingress: ev.IngressAS})
+			}
+		}
+	}
+
+	g.sensorFlows(dt, ev)
+}
+
+// sensorFlows emits the honeypot-side flows of one event.
+func (g *Generator) sensorFlows(dt *DayTraffic, ev *AttackEvent) {
+	for _, sensor := range ev.Sensors {
+		dt.Sensors = append(dt.Sensors, SensorFlow{
+			Sensor:   sensor,
+			Victim:   ev.Victim,
+			Start:    ev.Start,
+			Duration: ev.Duration,
+			Count:    ev.ReqPerSensor,
+			QName:    ev.QName,
+			QType:    ev.QType,
+			TXID:     g.pickTXID(ev, ev.Start, ev.End()),
+			EventID:  ev.ID,
+		})
+	}
+}
+
+// pickTXID draws a transaction ID honouring the event's pools and the
+// phase split of straddling events.
+func (g *Generator) pickTXID(ev *AttackEvent, t, end simclock.Time) uint16 {
+	pool := ev.TXIDs
+	if len(ev.TXIDs2) > 0 {
+		// The shift happens at the event's temporal midpoint.
+		mid := ev.Start.Add(ev.Duration / 2)
+		if !t.Before(mid) {
+			pool = ev.TXIDs2
+		}
+	}
+	if len(pool) == 0 {
+		return uint16(g.rng.Intn(1 << 16))
+	}
+	return pool[g.rng.Intn(len(pool))]
+}
+
+// responseTemplate returns (building if needed) the encoded ANY response
+// for a misused name on a given day, as an uncapped amplifier would emit
+// it; per-amplifier EDNS caps are applied at frame-build time.
+func (g *Generator) responseTemplate(name string, t simclock.Time) *respTemplate {
+	key := tmplKey{name, t.Day()}
+	tmpl, ok := g.respTmpl[key]
+	if !ok {
+		tmpl = g.buildTemplate(name, t)
+		g.respTmpl[key] = tmpl
+	}
+	return tmpl
+}
+
+func (g *Generator) buildTemplate(name string, t simclock.Time) *respTemplate {
+	z, ok := g.C.DB.Zone(name)
+	if !ok {
+		// Procedural name: small synthetic answer.
+		q := dnswire.NewQuery(0, name, dnswire.TypeANY, 4096)
+		resp := dnswire.NewResponse(q)
+		wire := dnswire.Encode(resp)
+		return &respTemplate{prefix: clone(wire), fullLen: g.C.DB.ANYSize(name, t)}
+	}
+	q := dnswire.NewQuery(0, name, dnswire.TypeANY, 4096)
+	resp := z.BuildANYResponse(q, t)
+	wire := g.enc.Encode(resp)
+	pLen := sflow.DefaultSnaplen - netmodel.EthernetHeaderLen - netmodel.IPv4HeaderLen - netmodel.UDPHeaderLen
+	if pLen > len(wire) {
+		pLen = len(wire)
+	}
+	return &respTemplate{prefix: clone(wire[:pLen]), fullLen: len(wire)}
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }
+
+// buildResponseFrame assembles one amplifier->victim response frame,
+// applying the amplifier's EDNS cap and patching the transaction ID.
+func (g *Generator) buildResponseFrame(amp *Amplifier, ev *AttackEvent, tmpl *respTemplate, t, end simclock.Time) []byte {
+	size := tmpl.fullLen
+	if amp.MinimalANY {
+		size = 60
+	} else if amp.EDNSCap > 0 && size > amp.EDNSCap {
+		size = amp.EDNSCap
+	}
+	payload := tmpl.prefix
+	if len(payload) > size {
+		payload = payload[:size]
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	txid := g.pickTXID(ev, t, end)
+	if len(buf) >= 2 {
+		buf[0], buf[1] = byte(txid>>8), byte(txid)
+	}
+	eth := netmodel.Ethernet{Src: macForAS(amp.ASN), Dst: macForAS(ev.VictimASN)}
+	ip := netmodel.IPv4{
+		TTL: amp.ObservedTTL(),
+		ID:  uint16(g.rng.Intn(1 << 16)),
+		Src: amp.Addr,
+		Dst: ev.Victim,
+	}
+	udp := netmodel.UDP{
+		SrcPort: 53,
+		DstPort: uint16(1024 + g.rng.Intn(60000)),
+		Length:  uint16(netmodel.UDPHeaderLen + size),
+	}
+	return netmodel.EncodeUDPPacket(eth, ip, udp, buf)
+}
+
+// buildRequestFrame assembles one spoofed attacker->amplifier query.
+func (g *Generator) buildRequestFrame(amp *Amplifier, ev *AttackEvent, t, end simclock.Time) []byte {
+	q := dnswire.NewQuery(g.pickTXID(ev, t, end), ev.QName, ev.QType, 4096)
+	payload := g.enc.Encode(q)
+	eth := netmodel.Ethernet{Src: macForAS(ev.IngressAS), Dst: macForAS(amp.ASN)}
+	ip := netmodel.IPv4{
+		TTL: ev.ReqIPTTL,
+		ID:  uint16(g.rng.Intn(1 << 16)),
+		Src: ev.Victim, // spoofed
+		Dst: amp.Addr,
+	}
+	udp := netmodel.UDP{
+		SrcPort: uint16(1024 + g.rng.Intn(60000)),
+		DstPort: 53,
+	}
+	return netmodel.EncodeUDPPacket(eth, ip, udp, payload)
+}
+
+// backgroundQTypes is the organic query-type mix (§3.1: A 57%, AAAA 13%).
+var backgroundQTypes = []struct {
+	t dnswire.Type
+	w float64
+}{
+	{dnswire.TypeA, 0.57},
+	{dnswire.TypeAAAA, 0.13},
+	{dnswire.TypePTR, 0.09},
+	{dnswire.TypeMX, 0.05},
+	{dnswire.TypeTXT, 0.05},
+	{dnswire.TypeNS, 0.03},
+	{dnswire.TypeSOA, 0.03},
+	{dnswire.TypeSRV, 0.02},
+	{dnswire.TypeDNSKEY, 0.01},
+}
+
+// backgroundTraffic synthesizes the day's organic sampled DNS packets.
+func (g *Generator) backgroundTraffic(dt *DayTraffic, day simclock.Time) {
+	// Weekly pattern: small dip on weekends (§3.1).
+	n := g.Background.SamplesPerDay
+	if wd := day.Std().Weekday(); wd == 0 || wd == 6 {
+		n = n * 88 / 100
+	}
+	misused := g.C.DB.MisusedCandidates()
+	for i := 0; i < n; i++ {
+		client := g.bgClients[g.bgZipf.Draw(g.rng)-1]
+		server := g.servers[g.rng.Intn(len(g.servers))]
+		t := day.Add(simclock.Duration(g.rng.Int63n(int64(simclock.Day))))
+
+		// Name and type selection.
+		var name string
+		qtype := dnswire.TypeA
+		u := g.rng.Float64()
+		switch {
+		case u < g.Background.RootShare:
+			// Root priming and monitoring traffic: the root name is a
+			// misused name AND a common legitimate query (§4.2's low-
+			// share clients).
+			name = "."
+			if g.rng.Float64() < 0.05 {
+				qtype = dnswire.TypeANY
+			} else if g.rng.Float64() < 0.7 {
+				qtype = dnswire.TypeNS
+			}
+		case u < g.Background.RootShare+g.Background.MisusedShare:
+			// Research scanners and monitoring probes against
+			// amplification-prone names — these often use ANY.
+			name = misused[g.rng.Intn(len(misused))]
+			if g.rng.Float64() < 0.5 {
+				qtype = dnswire.TypeANY
+			}
+		case g.rng.Float64() < g.Background.ANYShare:
+			// Organic ANY (debugging tools): spread uniformly across
+			// the bulk namespace rather than by popularity.
+			name = g.C.DB.ProceduralName(g.rng.Intn(g.C.DB.NumProceduralNames()))
+			qtype = dnswire.TypeANY
+		default:
+			name = g.C.DB.ProceduralName(g.nameZipf.Draw(g.rng) - 1)
+			v := g.rng.Float64()
+			acc := 0.0
+			for _, tw := range backgroundQTypes {
+				acc += tw.w
+				if v < acc {
+					qtype = tw.t
+					break
+				}
+			}
+		}
+
+		isResponse := g.rng.Float64() < g.Background.ResponseShare
+		var frame []byte
+		if isResponse {
+			frame = g.buildBackgroundResponse(server, client, name, qtype, t)
+		} else {
+			frame = g.buildBackgroundQuery(client, server, name, qtype)
+		}
+		dt.IXP = append(dt.IXP, TaggedRecord{Rec: g.Sampler.Take(t, frame)})
+	}
+}
+
+func (g *Generator) buildBackgroundQuery(client, server netip.Addr, name string, qtype dnswire.Type) []byte {
+	q := dnswire.NewQuery(uint16(g.rng.Intn(1<<16)), name, qtype, 4096)
+	payload := g.enc.Encode(q)
+	eth := netmodel.Ethernet{}
+	ip := netmodel.IPv4{TTL: uint8(32 + g.rng.Intn(200)), ID: uint16(g.rng.Intn(1 << 16)), Src: client, Dst: server}
+	udp := netmodel.UDP{SrcPort: uint16(1024 + g.rng.Intn(60000)), DstPort: 53}
+	return netmodel.EncodeUDPPacket(eth, ip, udp, payload)
+}
+
+func (g *Generator) buildBackgroundResponse(server, client netip.Addr, name string, qtype dnswire.Type, t simclock.Time) []byte {
+	size := g.C.DB.ResponseSize(name, qtype, t)
+	// Organic jitter: caches, case randomization, EDNS variations.
+	size += g.rng.Intn(24)
+	if _, explicit := g.C.DB.Zone(name); !explicit && size > 4096 {
+		// Recursive resolvers answering organic queries for bulk names
+		// cap at the common EDNS buffer; only the misused-name zones
+		// (queried at their authoritatives or via uncapped resolvers)
+		// show larger answers in practice.
+		size = 4096
+	}
+	q := dnswire.NewQuery(uint16(g.rng.Intn(1<<16)), name, qtype, 4096)
+	resp := dnswire.NewResponse(q)
+	resp.Answers = append(resp.Answers, dnswire.RR{
+		Name: dnswire.CanonicalName(name), Type: dnswire.TypeA, Class: dnswire.ClassIN,
+		TTL: 300, Data: dnswire.AData{Addr: server},
+	})
+	payload := g.enc.Encode(resp)
+	if size < len(payload) {
+		size = len(payload)
+	}
+	eth := netmodel.Ethernet{}
+	ip := netmodel.IPv4{TTL: uint8(32 + g.rng.Intn(200)), ID: uint16(g.rng.Intn(1 << 16)), Src: server, Dst: client}
+	udp := netmodel.UDP{
+		SrcPort: 53,
+		DstPort: uint16(1024 + g.rng.Intn(60000)),
+		Length:  uint16(netmodel.UDPHeaderLen + size),
+	}
+	return netmodel.EncodeUDPPacket(eth, ip, udp, payload)
+}
+
+// macForAS derives a stable router MAC for a member/AS.
+func macForAS(asn uint32) netmodel.MAC {
+	return netmodel.MAC{0x02, 0x42, byte(asn >> 24), byte(asn >> 16), byte(asn >> 8), byte(asn)}
+}
+
+func sortUint32(xs []uint32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

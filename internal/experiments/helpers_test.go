@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	s := sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline runes = %d", len([]rune(s)))
+	}
+	if !strings.HasSuffix(s, "█") || !strings.HasPrefix(s, "▁") {
+		t.Errorf("sparkline endpoints wrong: %q", s)
+	}
+	// Constant series must not divide by zero.
+	flat := sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	in := make([]float64, 100)
+	for i := range in {
+		in[i] = float64(i)
+	}
+	out := decimate(in, 10)
+	if len(out) != 10 {
+		t.Fatalf("decimated length = %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			t.Fatal("decimation should preserve order for monotone input")
+		}
+	}
+	short := []float64{1, 2}
+	if got := decimate(short, 10); len(got) != 2 {
+		t.Errorf("short input should pass through, got %v", got)
+	}
+}
+
+func TestModality(t *testing.T) {
+	// Clear bimodal sample: one mode near 1232, one near 5800.
+	var sizes []int
+	for i := 0; i < 100; i++ {
+		sizes = append(sizes, 1232, 5800)
+	}
+	m := modality(sizes)
+	if m < 2 {
+		t.Errorf("bimodal sample modes = %d", m)
+	}
+	// Unimodal.
+	var uni []int
+	for i := 0; i < 100; i++ {
+		uni = append(uni, 4000+i%50)
+	}
+	if got := modality(uni); got != 1 {
+		t.Errorf("unimodal sample modes = %d", got)
+	}
+}
+
+func TestFirstDay(t *testing.T) {
+	if got := firstDay(map[int]int{9: 1, 3: 2, 7: 5}); got != 3 {
+		t.Errorf("firstDay = %d", got)
+	}
+}
+
+func TestHistString(t *testing.T) {
+	s := histString(map[int]int{0: 1, 2: 8, 1: 3})
+	if len([]rune(s)) != 3 {
+		t.Errorf("histString runes = %d (%q)", len([]rune(s)), s)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{ID: "x", Title: "y"}
+	r.addf("value %d", 7)
+	out := r.String()
+	if !strings.Contains(out, "== x: y ==") || !strings.Contains(out, "value 7") {
+		t.Errorf("report format: %q", out)
+	}
+}

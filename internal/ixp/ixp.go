@@ -1,0 +1,159 @@
+// Package ixp models the IXP capture point: it decodes sampled frames,
+// keeps only well-formed DNS-over-UDP packets (the sanitization step of
+// §3.1), and annotates each record with the origin AS and the peering-hop
+// AS using the routing substrate — the metadata the paper derives from
+// RIPE RIS data and IXP member information.
+package ixp
+
+import (
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/netmodel"
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+	"dnsamp/internal/topology"
+)
+
+// DNSSample is one sanitized, annotated DNS packet sample. This is the
+// unit the detection pipeline consumes.
+type DNSSample struct {
+	Time simclock.Time
+
+	// Addresses and ports from the IP/UDP headers.
+	Src, Dst         [4]byte
+	SrcPort, DstPort uint16
+	IPTTL            uint8
+	IPID             uint16
+
+	// IsResponse is the DNS QR flag. The "client" of a transaction is
+	// the source of queries and the destination of responses.
+	IsResponse bool
+	// QName is the canonical first question name.
+	QName string
+	// QType is the first question type.
+	QType dnswire.Type
+	// TXID is the DNS transaction ID.
+	TXID uint16
+	// MsgSize is the DNS message size recovered from the UDP length
+	// field — valid even for truncated captures.
+	MsgSize int
+	// ANCount is the answer count announced in the header.
+	ANCount uint16
+	// VisibleNS counts NS records decodable from the truncated capture
+	// (used for the NXNS check, §4.2).
+	VisibleNS int
+	// RCode of the message.
+	RCode dnswire.RCode
+
+	// OriginAS is the AS originating the source address (99% coverage
+	// in the paper; 0 when unmapped).
+	OriginAS uint32
+	// PeerAS is the IXP member whose port carried the packet (96%
+	// coverage; 0 when unmapped).
+	PeerAS uint32
+}
+
+// ClientAddr returns the client side of the transaction: the source of a
+// query or the destination of a response.
+func (s *DNSSample) ClientAddr() [4]byte {
+	if s.IsResponse {
+		return s.Dst
+	}
+	return s.Src
+}
+
+// ServerAddr returns the server (amplifier) side of the transaction.
+func (s *DNSSample) ServerAddr() [4]byte {
+	if s.IsResponse {
+		return s.Src
+	}
+	return s.Dst
+}
+
+// CapturePoint turns raw sampled frames into annotated DNS samples.
+type CapturePoint struct {
+	Topo *topology.Topology
+
+	// Stats accumulates sanitization counters.
+	Stats CaptureStats
+}
+
+// CaptureStats counts the sanitization pipeline outcomes.
+type CaptureStats struct {
+	Frames       int // sampled frames seen
+	NonUDP       int // dropped: not IPv4/UDP or fragment continuation
+	NonDNS       int // dropped: UDP but not port 53 / unparseable DNS
+	Malformed    int // dropped: DNS but ill-formed names/types (§3.1's 3%)
+	Accepted     int
+	OriginMapped int
+	PeerMapped   int
+}
+
+// NewCapturePoint builds a capture point over the routing substrate.
+func NewCapturePoint(topo *topology.Topology) *CapturePoint {
+	return &CapturePoint{Topo: topo}
+}
+
+// Process sanitizes one sampled record. ok is false when the record is
+// not a well-formed DNS-over-UDP packet.
+func (c *CapturePoint) Process(rec sflow.Record) (DNSSample, bool) {
+	c.Stats.Frames++
+	pkt, err := netmodel.DecodeFrame(rec.Frame)
+	if err != nil {
+		c.Stats.NonUDP++
+		return DNSSample{}, false
+	}
+	if pkt.UDP.SrcPort != 53 && pkt.UDP.DstPort != 53 {
+		c.Stats.NonDNS++
+		return DNSSample{}, false
+	}
+	res, err := dnswire.Parse(pkt.Payload)
+	if err != nil {
+		c.Stats.NonDNS++
+		return DNSSample{}, false
+	}
+	m := res.Msg
+	qname := m.QName()
+	if !dnswire.ValidName(qname) || m.QType() == dnswire.TypeNone {
+		c.Stats.Malformed++
+		return DNSSample{}, false
+	}
+	s := DNSSample{
+		Time:       rec.Time,
+		Src:        pkt.IP.Src.As4(),
+		Dst:        pkt.IP.Dst.As4(),
+		SrcPort:    pkt.UDP.SrcPort,
+		DstPort:    pkt.UDP.DstPort,
+		IPTTL:      pkt.IP.TTL,
+		IPID:       pkt.IP.ID,
+		IsResponse: m.Header.QR,
+		QName:      dnswire.CanonicalName(qname),
+		QType:      m.QType(),
+		TXID:       m.Header.ID,
+		MsgSize:    pkt.DNSPayloadSize(),
+		ANCount:    m.Header.ANCount,
+		RCode:      m.Header.RCode,
+	}
+	for _, rr := range m.Answers {
+		if rr.Type == dnswire.TypeNS {
+			s.VisibleNS++
+		}
+	}
+	for _, rr := range m.Authority {
+		if rr.Type == dnswire.TypeNS {
+			s.VisibleNS++
+		}
+	}
+	if c.Topo != nil {
+		src := pkt.IP.Src
+		s.OriginAS = c.Topo.OriginAS(src)
+		s.PeerAS = c.Topo.PeerHopAS(src)
+		if s.OriginAS != 0 {
+			c.Stats.OriginMapped++
+		}
+		if s.PeerAS != 0 {
+			c.Stats.PeerMapped++
+		}
+	}
+	c.Stats.Accepted++
+	return s, true
+}

@@ -1,0 +1,159 @@
+package ixp
+
+import (
+	"net/netip"
+	"testing"
+
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/netmodel"
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+	"dnsamp/internal/topology"
+)
+
+func buildFrame(t *testing.T, src, dst string, srcPort, dstPort uint16, msg *dnswire.Message, udpLen uint16) sflow.Record {
+	t.Helper()
+	payload := dnswire.Encode(msg)
+	ip := netmodel.IPv4{
+		TTL: 60, Src: netip.MustParseAddr(src), Dst: netip.MustParseAddr(dst),
+	}
+	udp := netmodel.UDP{SrcPort: srcPort, DstPort: dstPort, Length: udpLen}
+	frame := netmodel.EncodeUDPPacket(netmodel.Ethernet{}, ip, udp, payload)
+	return sflow.Record{Time: simclock.MeasurementStart, Frame: netmodel.Truncate(frame, 128), FrameLen: len(frame)}
+}
+
+func TestProcessQuery(t *testing.T) {
+	topo := topology.Generate(topology.Config{Members: 10, ASesPerClass: 10, Seed: 1})
+	cp := NewCapturePoint(topo)
+	q := dnswire.NewQuery(0x1234, "doj.gov", dnswire.TypeANY, 4096)
+	rec := buildFrame(t, "192.0.2.7", "198.51.100.9", 40000, 53, q, 0)
+	s, ok := cp.Process(rec)
+	if !ok {
+		t.Fatal("query rejected")
+	}
+	if s.IsResponse {
+		t.Error("query flagged as response")
+	}
+	if s.QName != "doj.gov." || s.QType != dnswire.TypeANY || s.TXID != 0x1234 {
+		t.Errorf("fields wrong: %+v", s)
+	}
+	if s.ClientAddr() != s.Src {
+		t.Error("client of a query is its source")
+	}
+	if cp.Stats.Accepted != 1 {
+		t.Errorf("stats: %+v", cp.Stats)
+	}
+}
+
+func TestProcessResponseRecoversSize(t *testing.T) {
+	cp := NewCapturePoint(nil)
+	q := dnswire.NewQuery(7, "nsf.gov", dnswire.TypeANY, 4096)
+	resp := dnswire.NewResponse(q)
+	resp.Header.ANCount = 40 // announced but not materialized
+	// Claim a 5000-byte datagram while materializing only the header.
+	rec := buildFrame(t, "203.0.113.5", "192.0.2.9", 53, 41000, resp, uint16(netmodel.UDPHeaderLen+5000))
+	s, ok := cp.Process(rec)
+	if !ok {
+		t.Fatal("response rejected")
+	}
+	if !s.IsResponse {
+		t.Error("response not flagged")
+	}
+	if s.MsgSize != 5000 {
+		t.Errorf("MsgSize = %d, want 5000 (UDP length field)", s.MsgSize)
+	}
+	if s.ClientAddr() != s.Dst {
+		t.Error("client of a response is its destination")
+	}
+}
+
+func TestProcessRejectsNonDNSPort(t *testing.T) {
+	cp := NewCapturePoint(nil)
+	q := dnswire.NewQuery(1, "x.test", dnswire.TypeA, 0)
+	rec := buildFrame(t, "192.0.2.7", "198.51.100.9", 1234, 4321, q, 0)
+	if _, ok := cp.Process(rec); ok {
+		t.Error("non-53 ports should be rejected")
+	}
+	if cp.Stats.NonDNS != 1 {
+		t.Errorf("stats: %+v", cp.Stats)
+	}
+}
+
+func TestProcessRejectsMalformedName(t *testing.T) {
+	cp := NewCapturePoint(nil)
+	q := dnswire.NewQuery(1, "bad name.test", dnswire.TypeA, 0)
+	q.Questions[0].Name = "bad name.test." // bypass canonicalization
+	rec := buildFrame(t, "192.0.2.7", "198.51.100.9", 4000, 53, q, 0)
+	if _, ok := cp.Process(rec); ok {
+		t.Error("malformed name should be dropped (sanitization)")
+	}
+	if cp.Stats.Malformed != 1 {
+		t.Errorf("stats: %+v", cp.Stats)
+	}
+}
+
+func TestProcessRejectsGarbage(t *testing.T) {
+	cp := NewCapturePoint(nil)
+	rec := sflow.Record{Frame: []byte{1, 2, 3}}
+	if _, ok := cp.Process(rec); ok {
+		t.Error("garbage accepted")
+	}
+	if cp.Stats.NonUDP != 1 {
+		t.Errorf("stats: %+v", cp.Stats)
+	}
+}
+
+func TestOriginAndPeerAnnotation(t *testing.T) {
+	topo := topology.Generate(topology.Config{Members: 10, ASesPerClass: 10, Seed: 1})
+	cp := NewCapturePoint(topo)
+	// Use a real topology address as source.
+	var srcAddr string
+	var wantASN uint32
+	for asn, as := range topo.ASes {
+		if !as.IXPMember && len(as.Prefixes) > 0 {
+			a := as.Prefixes[0].Addr().As4()
+			a[3] = 5
+			srcAddr = netip.AddrFrom4(a).String()
+			wantASN = asn
+			break
+		}
+	}
+	q := dnswire.NewQuery(1, "doj.gov", dnswire.TypeANY, 0)
+	rec := buildFrame(t, srcAddr, "198.51.100.9", 4000, 53, q, 0)
+	s, ok := cp.Process(rec)
+	if !ok {
+		t.Fatal("rejected")
+	}
+	if s.OriginAS != wantASN {
+		t.Errorf("origin AS = %d, want %d", s.OriginAS, wantASN)
+	}
+	if s.PeerAS != topo.MemberFor(wantASN) {
+		t.Errorf("peer AS = %d, want %d", s.PeerAS, topo.MemberFor(wantASN))
+	}
+}
+
+func TestVisibleNSCount(t *testing.T) {
+	cp := NewCapturePoint(nil)
+	q := dnswire.NewQuery(7, "nsf.gov", dnswire.TypeNS, 0)
+	resp := dnswire.NewResponse(q)
+	for i := 0; i < 3; i++ {
+		resp.Answers = append(resp.Answers, dnswire.RR{
+			Name: "nsf.gov.", Type: dnswire.TypeNS, Class: dnswire.ClassIN, TTL: 300,
+			Data: dnswire.NameData{Target: "ns1.nsf.gov."},
+		})
+	}
+	rec := buildFrame(t, "203.0.113.5", "192.0.2.9", 53, 41000, resp, 0)
+	s, ok := cp.Process(rec)
+	if !ok {
+		t.Fatal("rejected")
+	}
+	// The 128-byte snaplen clips the third record: the capture sees
+	// roughly two resource records per truncated response, exactly the
+	// paper's observation (§3.1).
+	if s.VisibleNS != 2 {
+		t.Errorf("VisibleNS = %d, want 2 (truncation)", s.VisibleNS)
+	}
+	if s.ANCount != 3 {
+		t.Errorf("announced ANCount = %d, want 3", s.ANCount)
+	}
+}

@@ -1,0 +1,184 @@
+// Package pipeline orchestrates a full study: it plans a synthetic
+// campaign, materializes traffic, runs the honeypot inference and the
+// IXP detection pipeline (both passes), and bundles everything the
+// analyses of §5–§7 need.
+package pipeline
+
+import (
+	"dnsamp/internal/core"
+	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/honeypot"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/simclock"
+)
+
+// Config controls a study run.
+type Config struct {
+	Campaign    ecosystem.CampaignConfig
+	TrafficSeed int64
+	Thresholds  core.Thresholds
+	// MaxSelectorN bounds the consensus sweep (Fig. 3 sweeps to 70).
+	MaxSelectorN int
+	// ExtendedWindow enables the entity-tracking pass beyond the main
+	// period (needed for Fig. 8; disable to halve runtime when only
+	// main-window results are required).
+	ExtendedWindow bool
+}
+
+// DefaultConfig returns a study configuration at the given scale.
+func DefaultConfig(scale float64) Config {
+	return Config{
+		Campaign:       ecosystem.DefaultCampaignConfig(scale),
+		TrafficSeed:    11,
+		Thresholds:     core.DefaultThresholds(),
+		MaxSelectorN:   70,
+		ExtendedWindow: true,
+	}
+}
+
+// Study is the bundled result of one full run.
+type Study struct {
+	Cfg Config
+
+	Campaign *ecosystem.Campaign
+
+	// HoneypotAttacks are the CCC-style inferred attacks.
+	HoneypotAttacks []*honeypot.Attack
+
+	// AggMain holds pass-1 aggregates for the main window; AggExt for
+	// the extended entity window (after the main period).
+	AggMain, AggExt *core.Aggregator
+
+	// Selector results and the consensus curve (Fig. 3).
+	Sel1, Sel2, Sel3 core.SelectorResult
+	ConsensusN       int
+	ConsensusCurve   []float64
+
+	// VisibleGroundTruth are honeypot attacks with IXP-visible traffic.
+	VisibleGroundTruth []core.GroundTruthAttack
+
+	// NameList is the final misused-name list.
+	NameList *core.NameList
+
+	// Detections within the main window; DetectionsExt after it.
+	Detections    []*core.Detection
+	DetectionsExt []*core.Detection
+
+	// Records are the pass-2 per-attack details (main + extended).
+	Records []*core.AttackRecord
+
+	// VisibleNS holds the decodable NS counts of attack response
+	// samples (the NXNS check of §4.2).
+	VisibleNS []int
+
+	// CaptureStats from pass 1.
+	CaptureStats ixp.CaptureStats
+}
+
+// Run executes the full study.
+func Run(cfg Config) *Study {
+	st := &Study{Cfg: cfg}
+	st.Campaign = ecosystem.NewCampaign(cfg.Campaign)
+	c := st.Campaign
+
+	window := simclock.MainPeriod()
+	full := simclock.MainPeriod()
+	if cfg.ExtendedWindow {
+		full = simclock.EntityPeriod()
+	}
+
+	track := append([]string{}, c.DB.ExplicitNames()...)
+
+	// --- Pass 1: aggregate + honeypot ---------------------------------
+	gen := ecosystem.NewGenerator(c, cfg.TrafficSeed)
+	cap1 := ixp.NewCapturePoint(c.Topo)
+	st.AggMain = core.NewAggregator(track)
+	st.AggExt = core.NewAggregator(track)
+	hp := honeypot.NewPlatform(honeypot.CCCThresholds(), cfg.Campaign.NumSensors)
+
+	full.EachDay(func(day simclock.Time) {
+		dt := gen.Day(day)
+		for _, tr := range dt.IXP {
+			s, ok := cap1.Process(tr.Rec)
+			if !ok {
+				continue
+			}
+			if tr.Ingress != 0 {
+				s.PeerAS = tr.Ingress
+			}
+			if window.Contains(s.Time) {
+				st.AggMain.Observe(&s)
+			} else {
+				st.AggExt.Observe(&s)
+			}
+		}
+		for _, sf := range dt.Sensors {
+			if window.Contains(sf.Start) {
+				hp.Observe(sf)
+			}
+		}
+	})
+	st.CaptureStats = cap1.Stats
+	st.HoneypotAttacks = hp.Finalize()
+
+	// --- Selectors and name list --------------------------------------
+	gts := make([]core.GroundTruthAttack, 0, len(st.HoneypotAttacks))
+	for _, a := range st.HoneypotAttacks {
+		gts = append(gts, core.GroundTruthAttack{Victim: a.VictimKey(), Start: a.Start, End: a.End})
+	}
+	st.Sel1 = core.Selector1MaxSize(st.AggMain)
+	st.Sel2 = core.Selector2ANYCount(st.AggMain)
+	st.Sel3, st.VisibleGroundTruth = core.Selector3GroundTruth(st.AggMain, gts)
+	st.ConsensusN, st.ConsensusCurve = core.ConsensusPoint(cfg.MaxSelectorN, st.Sel1, st.Sel2, st.Sel3)
+	st.NameList = core.BuildNameList(st.ConsensusN, st.Sel1, st.Sel2, st.Sel3)
+
+	// --- Detection ------------------------------------------------------
+	st.Detections = core.Detect(st.AggMain, st.NameList.Names, cfg.Thresholds)
+	if cfg.ExtendedWindow {
+		st.DetectionsExt = core.Detect(st.AggExt, st.NameList.Names, cfg.Thresholds)
+	}
+
+	// --- Pass 2: per-attack details ------------------------------------
+	all := append(append([]*core.Detection{}, st.Detections...), st.DetectionsExt...)
+	col := core.NewCollector(all, st.NameList.Names)
+	gen2 := ecosystem.NewGenerator(c, cfg.TrafficSeed)
+	cap2 := ixp.NewCapturePoint(c.Topo)
+	full.EachDay(func(day simclock.Time) {
+		dt := gen2.Day(day)
+		for _, tr := range dt.IXP {
+			s, ok := cap2.Process(tr.Rec)
+			if !ok {
+				continue
+			}
+			if tr.Ingress != 0 {
+				s.PeerAS = tr.Ingress
+			}
+			col.Observe(&s)
+		}
+	})
+	col.SetVictimASN(func(v [4]byte) uint32 {
+		return c.Topo.OriginAS(ecosystem.AddrFromKey(v))
+	})
+	st.Records = col.Records()
+	st.VisibleNS = col.VisibleNS
+	return st
+}
+
+// DetectionDays returns the set of detected (victim, day) keys in the
+// main window.
+func (st *Study) DetectionKeys() map[core.ClientDay]bool {
+	out := make(map[core.ClientDay]bool, len(st.Detections))
+	for _, d := range st.Detections {
+		out[core.ClientDay{Client: d.Victim, Day: d.Day}] = true
+	}
+	return out
+}
+
+// AllRecords returns pass-2 records indexed by (victim, day).
+func (st *Study) RecordIndex() map[core.ClientDay]*core.AttackRecord {
+	out := make(map[core.ClientDay]*core.AttackRecord, len(st.Records))
+	for _, r := range st.Records {
+		out[core.ClientDay{Client: r.Victim, Day: r.Day}] = r
+	}
+	return out
+}

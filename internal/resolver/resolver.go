@@ -1,0 +1,256 @@
+// Package resolver models the behaviour of the DNS infrastructure that
+// amplification attacks abuse: open recursive resolvers, transparent
+// forwarders (98% of open amplifiers per the paper), and authoritative
+// nameservers. It implements TTL-decrementing caches (the mechanism the
+// cache-snooping study of Appendix C exploits), response rate limiting
+// (RRL), and RFC 8482 minimal-ANY behaviour.
+package resolver
+
+import (
+	"net/netip"
+
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/simclock"
+	"dnsamp/internal/zonedb"
+)
+
+// Kind classifies a DNS endpoint.
+type Kind int
+
+// Endpoint kinds.
+const (
+	// Recursive is an open recursive resolver: it answers from cache or
+	// resolves against authoritative data and caches the result.
+	Recursive Kind = iota
+	// Forwarder is a transparent forwarder (e.g. a home router): it
+	// relays to an upstream recursive resolver and inherits that
+	// resolver's cache state, including decremented TTLs.
+	Forwarder
+	// Authoritative answers only for its own zones and never
+	// recursively resolves — which is why only ~2% of abused amplifiers
+	// are authoritative servers (§7.1).
+	Authoritative
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Recursive:
+		return "recursive"
+	case Forwarder:
+		return "forwarder"
+	default:
+		return "authoritative"
+	}
+}
+
+// RRLConfig is a response-rate-limiting policy.
+type RRLConfig struct {
+	Enabled bool
+	// ResponsesPerSecond is the per-client budget before slipping.
+	ResponsesPerSecond int
+}
+
+// cacheKey identifies a cached RRset.
+type cacheKey struct {
+	name  string
+	qtype dnswire.Type
+}
+
+type cacheEntry struct {
+	expires    simclock.Time
+	defaultTTL uint32
+	size       int
+}
+
+// Resolver is one simulated DNS endpoint.
+type Resolver struct {
+	Addr netip.Addr
+	Kind Kind
+	// Upstream is the recursive resolver a forwarder relays to.
+	Upstream *Resolver
+	// RRL is the rate-limiting policy, if any.
+	RRL RRLConfig
+	// MinimalANY makes the endpoint answer ANY queries with an RFC 8482
+	// minimal response.
+	MinimalANY bool
+	// Zones is the authority set (Authoritative kind only).
+	Zones []*zonedb.Zone
+
+	db    *zonedb.DB
+	cache map[cacheKey]cacheEntry
+
+	// rrlWindow tracks the current one-second accounting window.
+	rrlWindow simclock.Time
+	rrlCount  int
+}
+
+// New creates a resolver backed by the namespace db.
+func New(addr netip.Addr, kind Kind, db *zonedb.DB) *Resolver {
+	return &Resolver{Addr: addr, Kind: kind, db: db, cache: make(map[cacheKey]cacheEntry)}
+}
+
+// Result describes the outcome of handling one query.
+type Result struct {
+	// Answered is false when the endpoint dropped the query (RRL slip,
+	// authoritative REFUSED for foreign names, ...).
+	Answered bool
+	// Size is the response size in bytes.
+	Size int
+	// CacheHit reports whether the answer came from cache.
+	CacheHit bool
+	// TTL is the TTL the client observes (decremented on cache hits —
+	// the cache-snooping signal).
+	TTL uint32
+	// DefaultTTL is the authoritative TTL of the RRset.
+	DefaultTTL uint32
+	// RCode of the response.
+	RCode dnswire.RCode
+	// Minimal reports an RFC 8482 minimal-ANY answer.
+	Minimal bool
+}
+
+// Handle processes a query for (name, qtype) arriving at time t and
+// returns the response description. The spoofed source address is
+// irrelevant to the resolver; reflection happens at the transport layer.
+func (r *Resolver) Handle(name string, qtype dnswire.Type, t simclock.Time) Result {
+	if r.RRL.Enabled && !r.allowRRL(t) {
+		return Result{}
+	}
+	switch r.Kind {
+	case Authoritative:
+		return r.handleAuthoritative(name, qtype, t)
+	case Forwarder:
+		if r.Upstream == nil {
+			return Result{}
+		}
+		res := r.Upstream.Handle(name, qtype, t)
+		// A transparent forwarder relays the upstream answer verbatim
+		// (inheriting decremented TTLs), which is why forwarders must
+		// be excluded from cache snooping (Appendix C phase 1).
+		return res
+	default:
+		return r.handleRecursive(name, qtype, t)
+	}
+}
+
+func (r *Resolver) handleAuthoritative(name string, qtype dnswire.Type, t simclock.Time) Result {
+	cn := dnswire.CanonicalName(name)
+	for _, z := range r.Zones {
+		if z.Name == cn {
+			if qtype == dnswire.TypeANY && (r.MinimalANY || !z.AllowANY) {
+				return Result{Answered: true, Size: minimalANYSize(cn), TTL: z.TTL, DefaultTTL: z.TTL, Minimal: true}
+			}
+			size := r.db.ResponseSize(cn, qtype, t)
+			return Result{Answered: true, Size: size, TTL: z.TTL, DefaultTTL: z.TTL}
+		}
+	}
+	// Authoritative servers refuse queries outside their authority with
+	// a small REFUSED response.
+	return Result{Answered: true, Size: refusedSize(cn), RCode: dnswire.RCodeRefused, Minimal: true}
+}
+
+func (r *Resolver) handleRecursive(name string, qtype dnswire.Type, t simclock.Time) Result {
+	cn := dnswire.CanonicalName(name)
+	if qtype == dnswire.TypeANY && r.MinimalANY {
+		return Result{Answered: true, Size: minimalANYSize(cn), TTL: 3600, DefaultTTL: 3600, Minimal: true}
+	}
+	key := cacheKey{cn, qtype}
+	if e, ok := r.cache[key]; ok && t.Before(e.expires) {
+		remaining := uint32(e.expires.Sub(t))
+		return Result{
+			Answered: true, Size: e.size, CacheHit: true,
+			TTL: remaining, DefaultTTL: e.defaultTTL,
+		}
+	}
+	// Cache miss: resolve against authoritative data.
+	size := r.db.ResponseSize(cn, qtype, t)
+	ttl := r.defaultTTLFor(cn)
+	r.cache[key] = cacheEntry{
+		expires:    t.Add(simclock.Duration(ttl)),
+		defaultTTL: ttl,
+		size:       size,
+	}
+	return Result{Answered: true, Size: size, TTL: ttl, DefaultTTL: ttl}
+}
+
+// defaultTTLFor returns the authoritative TTL of a name.
+func (r *Resolver) defaultTTLFor(cn string) uint32 {
+	if z, ok := r.db.Zone(cn); ok {
+		return z.TTL
+	}
+	return 3600
+}
+
+// Warm inserts a cache entry as if the name had just been resolved at t,
+// used to model organic popularity-driven cache contents.
+func (r *Resolver) Warm(name string, qtype dnswire.Type, t simclock.Time) {
+	if r.Kind != Recursive {
+		if r.Upstream != nil {
+			r.Upstream.Warm(name, qtype, t)
+		}
+		return
+	}
+	cn := dnswire.CanonicalName(name)
+	ttl := r.defaultTTLFor(cn)
+	r.cache[cacheKey{cn, qtype}] = cacheEntry{
+		expires:    t.Add(simclock.Duration(ttl)),
+		defaultTTL: ttl,
+		size:       r.db.ResponseSize(cn, qtype, t),
+	}
+}
+
+// Cached reports whether (name, qtype) is live in the cache at t.
+func (r *Resolver) Cached(name string, qtype dnswire.Type, t simclock.Time) bool {
+	if r.Kind == Forwarder && r.Upstream != nil {
+		return r.Upstream.Cached(name, qtype, t)
+	}
+	e, ok := r.cache[cacheKey{dnswire.CanonicalName(name), qtype}]
+	return ok && t.Before(e.expires)
+}
+
+// FlushExpired drops dead entries; callers may invoke it periodically to
+// bound memory in long campaigns.
+func (r *Resolver) FlushExpired(t simclock.Time) {
+	for k, e := range r.cache {
+		if !t.Before(e.expires) {
+			delete(r.cache, k)
+		}
+	}
+}
+
+// CacheLen returns the number of live plus stale entries held.
+func (r *Resolver) CacheLen() int { return len(r.cache) }
+
+// allowRRL implements a fixed-window per-second budget.
+func (r *Resolver) allowRRL(t simclock.Time) bool {
+	if t != r.rrlWindow {
+		r.rrlWindow = t
+		r.rrlCount = 0
+	}
+	r.rrlCount++
+	return r.rrlCount <= r.RRL.ResponsesPerSecond
+}
+
+// minimalANYSize is the wire size of an RFC 8482 HINFO-style minimal
+// answer.
+func minimalANYSize(cn string) int {
+	return dnswire.HeaderLen + dnswire.EncodedNameLen(cn) + 4 + // question
+		dnswire.EncodedNameLen(cn) + 10 + 9 + 11 // HINFO RR + OPT
+}
+
+// refusedSize is the wire size of an empty REFUSED response.
+func refusedSize(cn string) int {
+	return dnswire.HeaderLen + dnswire.EncodedNameLen(cn) + 4
+}
+
+// AmplificationFactor is the response/request size ratio for a query of
+// qtype for name at time t via this resolver, ignoring rate limiting.
+func (r *Resolver) AmplificationFactor(name string, qtype dnswire.Type, t simclock.Time) float64 {
+	req := dnswire.HeaderLen + dnswire.EncodedNameLen(dnswire.CanonicalName(name)) + 4 + 11
+	res := r.Handle(name, qtype, t)
+	if !res.Answered || req == 0 {
+		return 0
+	}
+	return float64(res.Size) / float64(req)
+}

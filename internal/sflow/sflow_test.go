@@ -1,0 +1,102 @@
+package sflow
+
+import (
+	"math"
+	"testing"
+
+	"dnsamp/internal/simclock"
+)
+
+func TestSamplePacketRate(t *testing.T) {
+	s := NewSampler(1)
+	s.Rate = 100 // faster test; semantics identical
+	frame := make([]byte, 200)
+	const n = 200_000
+	sampled := 0
+	for i := 0; i < n; i++ {
+		if _, ok := s.SamplePacket(simclock.MeasurementStart, frame); ok {
+			sampled++
+		}
+	}
+	want := float64(n) / 100
+	if math.Abs(float64(sampled)-want) > 4*math.Sqrt(want) {
+		t.Errorf("sampled %d of %d, want ~%.0f", sampled, n, want)
+	}
+}
+
+func TestSampleTruncates(t *testing.T) {
+	s := NewSampler(2)
+	frame := make([]byte, 1500)
+	rec := s.Take(simclock.MeasurementStart, frame)
+	if len(rec.Frame) != DefaultSnaplen {
+		t.Errorf("frame len = %d, want %d", len(rec.Frame), DefaultSnaplen)
+	}
+	if rec.FrameLen != 1500 {
+		t.Errorf("FrameLen = %d, want 1500", rec.FrameLen)
+	}
+	small := s.Take(simclock.MeasurementStart, make([]byte, 60))
+	if len(small.Frame) != 60 {
+		t.Errorf("small frame truncated: %d", len(small.Frame))
+	}
+}
+
+func TestSequenceNumbers(t *testing.T) {
+	s := NewSampler(3)
+	a := s.Take(0, []byte{1})
+	b := s.Take(0, []byte{2})
+	if b.Seq != a.Seq+1 {
+		t.Errorf("sequence numbers not monotonic: %d, %d", a.Seq, b.Seq)
+	}
+}
+
+func TestThinFlowStatistics(t *testing.T) {
+	s := NewSampler(4)
+	// 16384 * 64 packets at 1:16384 => mean 64.
+	total := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		total += s.ThinFlow(16384 * 64)
+	}
+	mean := float64(total) / trials
+	if math.Abs(mean-64) > 3 {
+		t.Errorf("ThinFlow mean = %.1f, want ~64", mean)
+	}
+	if s.ThinFlow(0) != 0 {
+		t.Error("empty flow should thin to 0")
+	}
+}
+
+func TestThinFlowMatchesPerPacket(t *testing.T) {
+	// Binomial thinning and per-packet sampling must agree in
+	// distribution; compare means over many flows (the ablation claim).
+	a := NewSampler(5)
+	a.Rate = 50
+	b := NewSampler(6)
+	b.Rate = 50
+	const flow, trials = 5000, 300
+	frame := []byte{0}
+	sumThin, sumPkt := 0, 0
+	for i := 0; i < trials; i++ {
+		sumThin += a.ThinFlow(flow)
+		for j := 0; j < flow; j++ {
+			if _, ok := b.SamplePacket(0, frame); ok {
+				sumPkt++
+			}
+		}
+	}
+	mThin := float64(sumThin) / trials
+	mPkt := float64(sumPkt) / trials
+	if math.Abs(mThin-mPkt) > 8 {
+		t.Errorf("thinning mean %.1f vs per-packet mean %.1f", mThin, mPkt)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := NewSampler(7)
+	if s.Rate != 16384 || s.Snaplen != 128 {
+		t.Errorf("defaults = 1:%d snaplen %d, want 1:16384/128 (§3.1)", s.Rate, s.Snaplen)
+	}
+	if s.RNG() == nil {
+		t.Error("RNG accessor nil")
+	}
+}

@@ -1,0 +1,129 @@
+// Package simclock provides the simulated time base of the reproduction.
+//
+// The paper's main measurement period runs 2019-06-01 through 2019-08-31
+// (92 days); the major-attack-entity tracking extends to 2020-04-30. All
+// simulation components express time as a simclock.Time so that no code
+// path depends on the wall clock and campaigns are reproducible.
+package simclock
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an absolute simulated instant, stored as Unix seconds.
+// The zero value is the Unix epoch.
+type Time int64
+
+// Duration is a simulated span in seconds.
+type Duration int64
+
+// Common durations.
+const (
+	Second Duration = 1
+	Minute Duration = 60
+	Hour   Duration = 3600
+	Day    Duration = 86400
+)
+
+// MeasurementStart is 2019-06-01 00:00:00 UTC, the start of the paper's
+// main three-month IXP capture.
+var MeasurementStart = FromDate(2019, 6, 1)
+
+// MeasurementEnd is 2019-09-01 00:00:00 UTC (exclusive end of the main
+// period; the paper reports "June to September 2019").
+var MeasurementEnd = FromDate(2019, 9, 1)
+
+// EntityTrackingEnd is 2020-05-01 00:00:00 UTC, the exclusive end of the
+// extended window used to follow the major attack entity (Fig. 8).
+var EntityTrackingEnd = FromDate(2020, 5, 1)
+
+// FromDate builds a Time from a UTC calendar date.
+func FromDate(year int, month time.Month, day int) Time {
+	return Time(time.Date(year, month, day, 0, 0, 0, 0, time.UTC).Unix())
+}
+
+// FromTime converts a time.Time.
+func FromTime(t time.Time) Time { return Time(t.Unix()) }
+
+// Std converts to a time.Time in UTC.
+func (t Time) Std() time.Time { return time.Unix(int64(t), 0).UTC() }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span t - u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Day returns the number of whole days since the Unix epoch. Two instants
+// share a Day value iff they fall on the same UTC calendar day.
+func (t Time) Day() int { return int(int64(t) / int64(Day)) }
+
+// StartOfDay truncates t to 00:00:00 UTC of its day.
+func (t Time) StartOfDay() Time { return Time(t.Day()) * Time(Day) }
+
+// DayIndex returns the zero-based day offset of t from origin (both
+// truncated to day boundaries). Negative if t precedes origin.
+func (t Time) DayIndex(origin Time) int { return t.Day() - origin.Day() }
+
+// Date formats t as YYYY-MM-DD.
+func (t Time) Date() string { return t.Std().Format("2006-01-02") }
+
+// String formats t as an RFC 3339 UTC timestamp.
+func (t Time) String() string { return t.Std().Format(time.RFC3339) }
+
+// Days converts a whole number of days to a Duration.
+func Days(n int) Duration { return Duration(n) * Day }
+
+// Hours converts hours to a Duration.
+func Hours(n int) Duration { return Duration(n) * Hour }
+
+// Minutes converts minutes to a Duration.
+func Minutes(n int) Duration { return Duration(n) * Minute }
+
+// DurationString renders a Duration compactly, e.g. "7m", "33m", "2h5m".
+func (d Duration) String() string {
+	if d < 0 {
+		return "-" + (-d).String()
+	}
+	switch {
+	case d < Minute:
+		return fmt.Sprintf("%ds", int64(d))
+	case d < Hour:
+		return fmt.Sprintf("%dm%02ds", int64(d)/60, int64(d)%60)
+	case d < Day:
+		return fmt.Sprintf("%dh%02dm", int64(d)/3600, int64(d)%3600/60)
+	default:
+		return fmt.Sprintf("%dd%02dh", int64(d)/86400, int64(d)%86400/3600)
+	}
+}
+
+// Window is a half-open interval [Start, End).
+type Window struct {
+	Start, End Time
+}
+
+// MainPeriod returns the paper's main measurement window.
+func MainPeriod() Window { return Window{MeasurementStart, MeasurementEnd} }
+
+// EntityPeriod returns the extended entity-tracking window.
+func EntityPeriod() Window { return Window{MeasurementStart, EntityTrackingEnd} }
+
+// Contains reports whether t falls inside w.
+func (w Window) Contains(t Time) bool { return t >= w.Start && t < w.End }
+
+// Days returns the number of whole days spanned by w.
+func (w Window) Days() int { return w.End.DayIndex(w.Start) }
+
+// EachDay invokes fn with the start-of-day Time of every day in w.
+func (w Window) EachDay(fn func(day Time)) {
+	for d := w.Start.StartOfDay(); d.Before(w.End); d = d.Add(Day) {
+		fn(d)
+	}
+}

@@ -1,0 +1,128 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeasurementPeriod(t *testing.T) {
+	if MeasurementStart.Date() != "2019-06-01" {
+		t.Errorf("start = %s", MeasurementStart.Date())
+	}
+	if MeasurementEnd.Date() != "2019-09-01" {
+		t.Errorf("end = %s", MeasurementEnd.Date())
+	}
+	if got := MainPeriod().Days(); got != 92 {
+		t.Errorf("main period = %d days, want 92", got)
+	}
+	if EntityTrackingEnd.Date() != "2020-05-01" {
+		t.Errorf("entity end = %s", EntityTrackingEnd.Date())
+	}
+}
+
+func TestDayAndStartOfDay(t *testing.T) {
+	noon := MeasurementStart.Add(12 * Hour)
+	if noon.Day() != MeasurementStart.Day() {
+		t.Error("same calendar day expected")
+	}
+	if noon.StartOfDay() != MeasurementStart {
+		t.Error("StartOfDay should truncate to midnight")
+	}
+	next := MeasurementStart.Add(Day)
+	if next.Day() != MeasurementStart.Day()+1 {
+		t.Error("next day expected")
+	}
+	if next.DayIndex(MeasurementStart) != 1 {
+		t.Error("DayIndex wrong")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := FromDate(2019, time.July, 15)
+	b := a.Add(3 * Hour)
+	if b.Sub(a) != 3*Hour {
+		t.Error("Sub wrong")
+	}
+	if !a.Before(b) || !b.After(a) {
+		t.Error("ordering wrong")
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := MainPeriod()
+	if !w.Contains(MeasurementStart) {
+		t.Error("window should contain its start")
+	}
+	if w.Contains(MeasurementEnd) {
+		t.Error("window should exclude its end")
+	}
+	if w.Contains(MeasurementEnd-1) == false {
+		t.Error("window should contain end-1")
+	}
+}
+
+func TestEachDay(t *testing.T) {
+	w := Window{FromDate(2019, time.June, 1), FromDate(2019, time.June, 5)}
+	var days []string
+	w.EachDay(func(d Time) { days = append(days, d.Date()) })
+	if len(days) != 4 {
+		t.Fatalf("EachDay visited %d days, want 4", len(days))
+	}
+	if days[0] != "2019-06-01" || days[3] != "2019-06-04" {
+		t.Errorf("days = %v", days)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{30, "30s"},
+		{7 * Minute, "7m00s"},
+		{33*Minute + 5, "33m05s"},
+		{2*Hour + 5*Minute, "2h05m"},
+		{3*Day + 2*Hour, "3d02h"},
+		{-30, "-30s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestRoundTripStd(t *testing.T) {
+	f := func(sec int64) bool {
+		sec = sec % (1 << 40) // keep within sane time range
+		if sec < 0 {
+			sec = -sec
+		}
+		tt := Time(sec)
+		return FromTime(tt.Std()) == tt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDayIndexConsistentWithEachDay(t *testing.T) {
+	w := MainPeriod()
+	i := 0
+	w.EachDay(func(d Time) {
+		if d.DayIndex(w.Start) != i {
+			t.Fatalf("day %s index %d, want %d", d.Date(), d.DayIndex(w.Start), i)
+		}
+		i++
+	})
+	if i != w.Days() {
+		t.Fatalf("EachDay count %d != Days() %d", i, w.Days())
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Days(2) != 2*Day || Hours(3) != 3*Hour || Minutes(4) != 4*Minute {
+		t.Error("helper conversions wrong")
+	}
+}

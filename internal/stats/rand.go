@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Binomial draws from Binomial(n, p) using rng. For large n it uses a
+// normal approximation (with continuity correction) which is both accurate
+// and O(1); for small n it sums Bernoulli trials exactly. This is the
+// "binomial thinning" primitive behind the 1:16k sFlow sampler: instead of
+// materialising n packets and sampling each, we draw how many of the n
+// would have been sampled.
+func Binomial(rng *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// Exact for small n or very small expected counts.
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	if mean < 32 {
+		// Poisson-like regime: inversion by sequential search on the
+		// binomial pmf is exact and fast because k stays small.
+		return binomialInversion(rng, n, p)
+	}
+	// Normal approximation with continuity correction.
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	k := int(math.Round(rng.NormFloat64()*sd + mean))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// binomialInversion draws Binomial(n,p) by inverting the CDF with a
+// sequential pmf recurrence. Intended for n*p < ~32 where it terminates
+// quickly.
+func binomialInversion(rng *rand.Rand, n int, p float64) int {
+	q := 1 - p
+	// pmf(0) = q^n computed in log space to avoid underflow.
+	logPMF := float64(n) * math.Log(q)
+	pmf := math.Exp(logPMF)
+	u := rng.Float64()
+	k := 0
+	cdf := pmf
+	for u > cdf && k < n {
+		// pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/q
+		pmf *= float64(n-k) / float64(k+1) * p / q
+		k++
+		cdf += pmf
+		if pmf < 1e-300 { // numerical floor; tail mass negligible
+			break
+		}
+	}
+	return k
+}
+
+// Zipf draws ranks 1..n with exponent s using a precomputed CDF. It is a
+// small deterministic alternative to rand.Zipf that permits s <= 1 and
+// re-seeding per draw site.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf prepares a Zipf distribution over ranks 1..n with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Draw returns a rank in [1, n].
+func (z *Zipf) Draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Pareto draws a bounded Pareto-distributed float in [lo, hi] with shape
+// alpha. Used for heavy-tailed attack durations and intensities.
+func Pareto(rng *rand.Rand, lo, hi, alpha float64) float64 {
+	if lo <= 0 || hi <= lo {
+		return lo
+	}
+	u := rng.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Pick returns a uniformly chosen element of xs.
+func Pick[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.Intn(len(xs))]
+}
+
+// Shuffle permutes xs in place.
+func Shuffle[T any](rng *rand.Rand, xs []T) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// SampleWithoutReplacement returns k distinct elements of xs chosen
+// uniformly. If k >= len(xs) a shuffled copy of xs is returned.
+func SampleWithoutReplacement[T any](rng *rand.Rand, xs []T, k int) []T {
+	n := len(xs)
+	if k >= n {
+		out := append([]T(nil), xs...)
+		Shuffle(rng, out)
+		return out
+	}
+	// Partial Fisher-Yates over a copy of indices.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]T, 0, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out = append(out, xs[idx[i]])
+	}
+	return out
+}
