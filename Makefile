@@ -1,0 +1,33 @@
+# Targets mirror .github/workflows/ci.yml so local runs and CI stay in
+# lockstep: `make build test race bench fuzz fmt` is exactly what a PR runs.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz fmt vet ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Bench smoke: every benchmark compiles and runs once.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Fuzz smoke: a short coverage-guided run of the wire-parser target.
+fuzz:
+	$(GO) test -run '^$$' -fuzz Fuzz -fuzztime 10s ./internal/dnswire
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build fmt vet test race fuzz bench

@@ -379,6 +379,34 @@ func BenchmarkTrafficDay(b *testing.B) {
 	}
 }
 
+// benchPipelineConfig is the shared configuration of the serial/parallel
+// pipeline pair; BENCH_*.json tracks their ratio as the sharding speedup.
+func benchPipelineConfig() pipeline.Config {
+	cfg := pipeline.DefaultConfig(0.01)
+	cfg.Campaign.Zones.ProceduralNames = 20_000
+	cfg.Campaign.Topology = topology.Config{Members: 24, ASesPerClass: 40, Seed: 1}
+	cfg.ExtendedWindow = false
+	return cfg
+}
+
+func BenchmarkPipelineSerial(b *testing.B) {
+	cfg := benchPipelineConfig()
+	cfg.Concurrency = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipeline.Run(cfg)
+	}
+}
+
+func BenchmarkPipelineParallel(b *testing.B) {
+	cfg := benchPipelineConfig()
+	cfg.Concurrency = 0 // all cores
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipeline.Run(cfg)
+	}
+}
+
 func BenchmarkDBSCAN(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	n := 400

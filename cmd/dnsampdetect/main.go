@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dnsampdetect [-scale 0.05] [-seed 1] [-v]
+//	dnsampdetect [-scale 0.05] [-seed 1] [-concurrency 0] [-v]
 package main
 
 import (
@@ -23,12 +23,14 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "campaign scale")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	verbose := flag.Bool("v", false, "print every detection")
+	concurrency := flag.Int("concurrency", 0, "pipeline worker count (0 = all cores, 1 = serial; results are identical)")
 	flag.Parse()
 
 	start := time.Now()
 	cfg := pipeline.DefaultConfig(*scale)
 	cfg.Campaign.Seed = *seed
 	cfg.ExtendedWindow = false // detection only needs the main window
+	cfg.Concurrency = *concurrency
 	st := pipeline.Run(cfg)
 
 	fmt.Printf("sanitized DNS samples: %d (%d dropped as malformed)\n",

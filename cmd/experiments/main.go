@@ -24,11 +24,13 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "campaign scale (1.0 = paper scale)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	run := flag.String("run", "", "only experiments whose id contains this substring (e.g. figure14, table2, section5)")
+	concurrency := flag.Int("concurrency", 0, "pipeline worker count (0 = all cores, 1 = serial; results are identical)")
 	flag.Parse()
 
 	start := time.Now()
 	cfg := pipeline.DefaultConfig(*scale)
 	cfg.Campaign.Seed = *seed
+	cfg.Concurrency = *concurrency
 	fmt.Fprintf(os.Stderr, "planning and materializing campaign at scale %.2f (seed %d)...\n", *scale, *seed)
 	suite := experiments.NewSuiteWithConfig(cfg)
 	fmt.Fprintf(os.Stderr, "pipeline complete in %s; running experiments\n\n", time.Since(start).Round(time.Second))

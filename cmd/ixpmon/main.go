@@ -6,13 +6,14 @@
 //
 // Usage:
 //
-//	ixpmon [-scale 0.05] [-days 14] [-interval 5m]
+//	ixpmon [-scale 0.05] [-days 14] [-interval 5m] [-concurrency 0]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"dnsamp/internal/core"
@@ -26,6 +27,7 @@ func main() {
 	days := flag.Int("days", 14, "days of traffic to monitor")
 	interval := flag.Duration("interval", 5*time.Minute, "name-list refresh interval")
 	listSize := flag.Int("names", 29, "per-selector name list size")
+	concurrency := flag.Int("concurrency", 0, "day-traffic prefetch width (0 = all cores, 1 = serial; output is identical)")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "building campaign (scale %.2f)...\n", *scale)
@@ -34,9 +36,39 @@ func main() {
 	capture := ixp.NewCapturePoint(c.Topo)
 	mon := core.NewMonitor(*listSize, simclock.Duration(interval.Seconds()), core.DefaultThresholds())
 
+	// The online monitor is stateful and must see traffic in day order,
+	// so concurrency takes the form of a bounded prefetch: day traffic
+	// materializes in parallel while the monitor consumes days in order.
+	// A producer holds its semaphore token until the consumer has
+	// processed its day, bounding resident day traffic (generating or
+	// generated-but-unconsumed) to the worker count.
+	workers := *concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	end := simclock.MeasurementStart.Add(simclock.Days(*days))
+	var dayList []simclock.Time
 	for day := simclock.MeasurementStart; day.Before(end); day = day.Add(simclock.Day) {
-		dt := gen.Day(day)
+		dayList = append(dayList, day)
+	}
+	slots := make([]chan *ecosystem.DayTraffic, len(dayList))
+	for i := range slots {
+		slots[i] = make(chan *ecosystem.DayTraffic, 1)
+	}
+	// The launcher takes tokens in day order, so the in-flight window is
+	// always the next `workers` unconsumed days and the consumer can
+	// never be starved of the day it is waiting on.
+	sem := make(chan struct{}, workers)
+	go func() {
+		for i, day := range dayList {
+			sem <- struct{}{}
+			go func(i int, day simclock.Time) {
+				slots[i] <- gen.Day(day)
+			}(i, day)
+		}
+	}()
+	for i, day := range dayList {
+		dt := <-slots[i]
 		for _, tr := range dt.IXP {
 			s, ok := capture.Process(tr.Rec)
 			if !ok {
@@ -48,6 +80,7 @@ func main() {
 			mon.Observe(&s)
 		}
 		fmt.Fprintf(os.Stderr, "%s: %d samples processed\n", day.Date(), len(dt.IXP))
+		<-sem
 	}
 	mon.Close(end)
 

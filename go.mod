@@ -1,0 +1,3 @@
+module dnsamp
+
+go 1.24

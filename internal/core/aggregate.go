@@ -149,6 +149,70 @@ func (ag *Aggregator) Observe(s *ixp.DNSSample) {
 	}
 }
 
+// Merge folds another aggregator's state into ag. Aggregation is
+// commutative (sums, maxima, and time bounds), so merging shards in any
+// order yields the same state as a single aggregator observing every
+// sample — the property the parallel pipeline relies on. The other
+// aggregator's maps are not retained; other must not be used afterwards.
+func (ag *Aggregator) Merge(other *Aggregator) {
+	if other == nil {
+		return
+	}
+	for n := range other.trackNames {
+		ag.trackNames[n] = true
+	}
+	ag.Samples += other.Samples
+	ag.Requests += other.Requests
+	ag.TotalBytes += other.TotalBytes
+	ag.ANYPackets += other.ANYPackets
+	ag.ANYBytes += other.ANYBytes
+
+	for n, ons := range other.Names {
+		ns := ag.Names[n]
+		if ns == nil {
+			cp := *ons
+			ag.Names[n] = &cp
+			continue
+		}
+		ns.Packets += ons.Packets
+		ns.ANYPackets += ons.ANYPackets
+		if ons.MaxSize > ns.MaxSize {
+			ns.MaxSize = ons.MaxSize
+		}
+	}
+
+	for key, oca := range other.Clients {
+		ca := ag.Clients[key]
+		if ca == nil {
+			cp := *oca
+			if oca.Tracked != nil {
+				cp.Tracked = make(map[string]int, len(oca.Tracked))
+				for n, c := range oca.Tracked {
+					cp.Tracked[n] = c
+				}
+			}
+			ag.Clients[key] = &cp
+			continue
+		}
+		ca.Total += oca.Total
+		ca.Bytes += oca.Bytes
+		ca.ANYPackets += oca.ANYPackets
+		ca.ANYBytes += oca.ANYBytes
+		if oca.First.Before(ca.First) {
+			ca.First = oca.First
+		}
+		if oca.Last.After(ca.Last) {
+			ca.Last = oca.Last
+		}
+		for n, c := range oca.Tracked {
+			if ca.Tracked == nil {
+				ca.Tracked = make(map[string]int, len(oca.Tracked))
+			}
+			ca.Tracked[n] += c
+		}
+	}
+}
+
 // ShareOf returns the misused-name traffic share of a client profile
 // with respect to a candidate set.
 func (a *ClientAgg) ShareOf(candidates map[string]bool) (share float64, candPackets int) {

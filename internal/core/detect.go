@@ -178,6 +178,56 @@ func (c *Collector) Observe(s *ixp.DNSSample) {
 	}
 }
 
+// merge folds another partial record for the same (victim, day) into r.
+// Sizes are appended in call order, so merging partials in day order
+// reproduces a serial pass's observation order.
+func (r *AttackRecord) merge(o *AttackRecord) {
+	r.Packets += o.Packets
+	r.Requests += o.Requests
+	r.Responses += o.Responses
+	r.ANYPackets += o.ANYPackets
+	for n, c := range o.Names {
+		r.Names[n] += c
+	}
+	for id, c := range o.TXIDs {
+		r.TXIDs[id] += c
+	}
+	for a, c := range o.Amplifiers {
+		r.Amplifiers[a] += c
+	}
+	r.Sizes = append(r.Sizes, o.Sizes...)
+	for as, c := range o.ReqIngress {
+		r.ReqIngress[as] += c
+	}
+	for ttl, c := range o.ReqTTLs {
+		r.ReqTTLs[ttl] += c
+	}
+	if o.First.Before(r.First) {
+		r.First = o.First
+	}
+	if o.Last.After(r.Last) {
+		r.Last = o.Last
+	}
+}
+
+// Merge folds another collector's observations into c. Records present
+// in both are combined key-wise; VisibleNS (and per-record sizes) are
+// appended in call order, so merging per-day partial collectors in day
+// order yields exactly the state of one collector observing the full
+// stream serially. Both collectors must share the candidate set. The
+// other collector must not be used afterwards.
+func (c *Collector) Merge(o *Collector) {
+	for key, orec := range o.wanted {
+		rec := c.wanted[key]
+		if rec == nil {
+			c.wanted[key] = orec
+			continue
+		}
+		rec.merge(orec)
+	}
+	c.VisibleNS = append(c.VisibleNS, o.VisibleNS...)
+}
+
 // SetVictimASN annotates a record's victim origin AS.
 func (c *Collector) SetVictimASN(lookup func([4]byte) uint32) {
 	for _, rec := range c.wanted {

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/simclock"
+)
+
+// mergeSample builds a minimal sanitized sample for merge tests.
+func mergeSample(client byte, name string, qtype dnswire.Type, size int, t simclock.Time, response bool) *ixp.DNSSample {
+	s := &ixp.DNSSample{
+		Time:       t,
+		QName:      name,
+		QType:      qtype,
+		MsgSize:    size,
+		IsResponse: response,
+	}
+	if response {
+		s.Dst = [4]byte{10, 0, 0, client}
+	} else {
+		s.Src = [4]byte{10, 0, 0, client}
+	}
+	return s
+}
+
+var mergeTrack = []string{"evil.example.", "."}
+
+func day0(offset simclock.Duration) simclock.Time {
+	return simclock.MeasurementStart.Add(offset)
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a := NewAggregator(mergeTrack)
+	a.Observe(mergeSample(1, "evil.example.", dnswire.TypeANY, 900, day0(10), true))
+	want := NewAggregator(mergeTrack)
+	want.Observe(mergeSample(1, "evil.example.", dnswire.TypeANY, 900, day0(10), true))
+
+	// Merging an empty shard (either direction) must not change state.
+	a.Merge(NewAggregator(mergeTrack))
+	if !reflect.DeepEqual(a, want) {
+		t.Error("merging an empty aggregator changed state")
+	}
+	empty := NewAggregator(mergeTrack)
+	empty.Merge(a)
+	if !reflect.DeepEqual(empty, want) {
+		t.Error("merging into an empty aggregator lost state")
+	}
+	a.Merge(nil)
+	if !reflect.DeepEqual(a, want) {
+		t.Error("merging nil changed state")
+	}
+}
+
+func TestMergeDisjoint(t *testing.T) {
+	// Shards covering different clients and names must union cleanly.
+	a := NewAggregator(mergeTrack)
+	a.Observe(mergeSample(1, "evil.example.", dnswire.TypeANY, 900, day0(10), true))
+	b := NewAggregator(mergeTrack)
+	b.Observe(mergeSample(2, "benign.example.", dnswire.TypeA, 80, day0(20), false))
+
+	a.Merge(b)
+	if a.Samples != 2 || a.Requests != 1 || a.TotalBytes != 980 {
+		t.Fatalf("global counters: samples=%d requests=%d bytes=%d", a.Samples, a.Requests, a.TotalBytes)
+	}
+	if len(a.Names) != 2 || len(a.Clients) != 2 {
+		t.Fatalf("names=%d clients=%d, want 2 and 2", len(a.Names), len(a.Clients))
+	}
+	if ns := a.Names["evil.example."]; ns.MaxSize != 900 || ns.ANYPackets != 1 {
+		t.Errorf("evil stats: %+v", ns)
+	}
+	if ns := a.Names["benign.example."]; ns.MaxSize != 0 || ns.Packets != 1 {
+		t.Errorf("benign stats: %+v", ns)
+	}
+}
+
+func TestMergeOverlapping(t *testing.T) {
+	// Two shards observing the same client and name: sums, maxima, and
+	// time bounds must match one aggregator observing everything.
+	samples := []*ixp.DNSSample{
+		mergeSample(1, "evil.example.", dnswire.TypeANY, 900, day0(100), true),
+		mergeSample(1, "evil.example.", dnswire.TypeANY, 1400, day0(50), true),
+		mergeSample(1, ".", dnswire.TypeNS, 120, day0(300), false),
+		mergeSample(1, "evil.example.", dnswire.TypeANY, 700, day0(200), true),
+	}
+	a := NewAggregator(mergeTrack)
+	b := NewAggregator(mergeTrack)
+	want := NewAggregator(mergeTrack)
+	for i, s := range samples {
+		if i%2 == 0 {
+			a.Observe(s)
+		} else {
+			b.Observe(s)
+		}
+		want.Observe(s)
+	}
+	a.Merge(b)
+	if !reflect.DeepEqual(a, want) {
+		t.Error("merged shards differ from a single aggregator over the same samples")
+	}
+	ca := a.Clients[ClientDay{Client: [4]byte{10, 0, 0, 1}, Day: day0(0).Day()}]
+	if ca == nil || ca.Total != 4 || ca.First != day0(50) || ca.Last != day0(300) {
+		t.Fatalf("client profile after merge: %+v", ca)
+	}
+	if got := ca.Tracked["evil.example."]; got != 3 {
+		t.Errorf("tracked count = %d, want 3", got)
+	}
+}
+
+func TestConsensusPointParallelMatchesSerial(t *testing.T) {
+	sel := func(names ...string) SelectorResult { return SelectorResult{Ranked: names} }
+	s1 := sel("a", "b", "c", "d", "e", "f")
+	s2 := sel("b", "a", "c", "e", "d", "g")
+	s3 := sel("a", "c", "b", "d", "f", "e")
+	wantN, wantCurve := ConsensusPoint(6, s1, s2, s3)
+	for _, conc := range []int{2, 4, 16} {
+		gotN, gotCurve := ConsensusPointParallel(6, conc, s1, s2, s3)
+		if gotN != wantN || !reflect.DeepEqual(gotCurve, wantCurve) {
+			t.Errorf("concurrency %d: N=%d curve=%v, want N=%d curve=%v", conc, gotN, gotCurve, wantN, wantCurve)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"dnsamp/internal/dnswire"
+	"dnsamp/internal/par"
 	"dnsamp/internal/simclock"
 	"dnsamp/internal/stats"
 )
@@ -130,17 +131,29 @@ func Selector3GroundTruth(ag *Aggregator, attacks []GroundTruthAttack) (Selector
 // returns the N with the highest consensus (ties resolved toward the
 // larger N, matching the paper's choice of the knee at 29).
 func ConsensusPoint(maxN int, selectors ...SelectorResult) (bestN int, curve []float64) {
+	return ConsensusPointParallel(maxN, 1, selectors...)
+}
+
+// ConsensusPointParallel is ConsensusPoint with the sweep over N fanned
+// out across up to concurrency goroutines. Every N is independent, so
+// the curve — and the chosen consensus point — is identical for any
+// concurrency level.
+func ConsensusPointParallel(maxN, concurrency int, selectors ...SelectorResult) (bestN int, curve []float64) {
 	curve = make([]float64, maxN+1)
-	best := -1.0
-	for n := 1; n <= maxN; n++ {
+	point := func(n int) float64 {
 		sets := make([]map[string]bool, len(selectors))
 		for i, s := range selectors {
 			sets[i] = s.TopSet(n)
 		}
-		j := stats.MultiJaccard(sets...)
-		curve[n] = j
-		if j >= best {
-			best = j
+		return stats.MultiJaccard(sets...)
+	}
+	par.For(maxN, concurrency, func(_, i int) {
+		curve[i+1] = point(i + 1)
+	})
+	best := -1.0
+	for n := 1; n <= maxN; n++ {
+		if curve[n] >= best {
+			best = curve[n]
 			bestN = n
 		}
 	}

@@ -99,3 +99,37 @@ func TestEncodeParseIdempotent(t *testing.T) {
 		}
 	}
 }
+
+// FuzzParse is the native coverage-guided fuzz target over the wire
+// parser (CI runs a short -fuzztime smoke on every PR). It enforces the
+// same totality invariants as the quick-check tests above: Parse must
+// return cleanly on arbitrary input, a nil error implies a message, and
+// re-encoding a parsed message must parse again.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2})
+	f.Add(Encode(NewQuery(0x1234, "doj.gov.", TypeANY, 4096)))
+	f.Add(Encode(bigResponse()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if res.Msg == nil {
+			t.Fatal("nil message without error")
+		}
+		if !res.Complete {
+			return
+		}
+		// A completely parsed message must survive a re-encode round
+		// trip.
+		wire := Encode(res.Msg)
+		res2, err := Parse(wire)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to parse: %v", err)
+		}
+		if !res2.Complete {
+			t.Fatal("re-encoded message parsed incompletely")
+		}
+	})
+}

@@ -82,27 +82,65 @@ type DayTraffic struct {
 }
 
 // Generator materializes traffic for a campaign.
+//
+// Traffic is generated one day at a time, and each day is a pure
+// function of (campaign, seed, day): Day derives a fresh per-day RNG
+// stream, so materializing days out of order — or concurrently from
+// several goroutines — yields exactly the traffic of a sequential
+// day-by-day replay. All state shared across days (campaign, client
+// population, Zipf tables) is read-only after construction.
 type Generator struct {
 	C          *Campaign
-	Sampler    *sflow.Sampler
 	Background BackgroundConfig
 	// SkipIXP suppresses IXP frame materialization, producing only the
 	// honeypot-side sensor flows. Used by analyses that re-run the
 	// honeypot inference under different thresholds (Appendix B). Note
-	// that skipping changes RNG consumption, so per-flow TXIDs differ
-	// from a full run; counts and timing do not.
+	// that skipping changes per-day RNG consumption, so per-flow TXIDs
+	// differ from a full run; counts and timing do not.
 	SkipIXP bool
 
-	rng *rand.Rand
-	enc dnswire.Encoder
+	seed int64
 
-	// respTmpl caches encoded ANY responses per (name, day).
-	respTmpl map[tmplKey]*respTemplate
 	// bgClients is the background client population.
 	bgClients []netip.Addr
 	bgZipf    *stats.Zipf
 	nameZipf  *stats.Zipf
 	servers   []netip.Addr
+}
+
+// dayGen carries the mutable per-day state: the day's RNG stream, its
+// sampler, the wire encoder, and the response-template cache. One
+// dayGen lives for exactly one Day call, which is what makes Day safe
+// for concurrent use.
+type dayGen struct {
+	*Generator
+	rng      *rand.Rand
+	sampler  *sflow.Sampler
+	enc      dnswire.Encoder
+	respTmpl map[tmplKey]*respTemplate
+}
+
+// daySeed mixes the generator seed with the day ordinal (splitmix64
+// finalizer) so per-day streams are decorrelated.
+func daySeed(seed int64, day int) int64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(day)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// slice opens the per-day generation state for one day.
+func (g *Generator) slice(day simclock.Time) *dayGen {
+	h := daySeed(g.seed, day.Day())
+	return &dayGen{
+		Generator: g,
+		rng:       rand.New(rand.NewSource(h)),
+		sampler:   sflow.NewSampler(h ^ 0x5a3c9d1),
+		respTmpl:  make(map[tmplKey]*respTemplate),
+	}
 }
 
 type tmplKey struct {
@@ -120,28 +158,29 @@ type respTemplate struct {
 func NewGenerator(c *Campaign, seed int64) *Generator {
 	g := &Generator{
 		C:          c,
-		Sampler:    sflow.NewSampler(seed),
 		Background: DefaultBackgroundConfig(),
-		rng:        rand.New(rand.NewSource(seed ^ 0x5eed)),
-		respTmpl:   make(map[tmplKey]*respTemplate),
+		seed:       seed,
 	}
 	g.Background.SamplesPerDay = scaleInt(g.Background.SamplesPerDay, c.Cfg.Scale)
 	g.Background.Clients = scaleInt(g.Background.Clients, c.Cfg.Scale)
 
 	// Background clients across all ASes; servers in hosting space.
+	// This population is drawn once from a construction-time stream and
+	// shared read-only by every day slice.
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
 	asns := make([]uint32, 0, len(c.Topo.ASes))
 	for asn := range c.Topo.ASes {
 		asns = append(asns, asn)
 	}
 	sortUint32(asns)
 	for i := 0; i < g.Background.Clients; i++ {
-		asn := asns[g.rng.Intn(len(asns))]
-		addr, _ := c.Topo.RandomAddrIn(g.rng, asn)
+		asn := asns[rng.Intn(len(asns))]
+		addr, _ := c.Topo.RandomAddrIn(rng, asn)
 		g.bgClients = append(g.bgClients, addr)
 	}
 	hosting := c.Topo.ASesOfType(topology.ASHosting)
 	for i := 0; i < 400; i++ {
-		addr, _ := c.Topo.RandomAddrIn(g.rng, hosting[g.rng.Intn(len(hosting))])
+		addr, _ := c.Topo.RandomAddrIn(rng, hosting[rng.Intn(len(hosting))])
 		g.servers = append(g.servers, addr)
 	}
 	g.bgZipf = stats.NewZipf(len(g.bgClients), 1.05)
@@ -149,22 +188,25 @@ func NewGenerator(c *Campaign, seed int64) *Generator {
 	return g
 }
 
-// Day materializes all traffic of one simulated day.
+// Day materializes all traffic of one simulated day. Each day's output
+// depends only on (campaign, seed, day), so Day may be called from
+// multiple goroutines concurrently and in any day order.
 func (g *Generator) Day(day simclock.Time) *DayTraffic {
 	day = day.StartOfDay()
+	dg := g.slice(day)
 	dt := &DayTraffic{Day: day}
 	for _, ev := range g.C.EventsOnDay(day) {
-		g.attackTraffic(dt, ev)
+		dg.attackTraffic(dt, ev)
 	}
 	if !g.SkipIXP && simclock.MainPeriod().Contains(day) {
-		g.backgroundTraffic(dt, day)
+		dg.backgroundTraffic(dt, day)
 	}
 	return dt
 }
 
 // attackTraffic materializes one event's sampled IXP frames and honeypot
 // flows.
-func (g *Generator) attackTraffic(dt *DayTraffic, ev *AttackEvent) {
+func (g *dayGen) attackTraffic(dt *DayTraffic, ev *AttackEvent) {
 	c := g.C
 	end := ev.End()
 	if g.SkipIXP {
@@ -189,7 +231,7 @@ func (g *Generator) attackTraffic(dt *DayTraffic, ev *AttackEvent) {
 			eff *= c.Entity.ResponseEfficiency(ev.Start)
 		}
 		n := int(float64(ev.ReqPerAmp) * eff)
-		k := g.Sampler.ThinFlow(n)
+		k := g.sampler.ThinFlow(n)
 		if k == 0 {
 			continue
 		}
@@ -197,7 +239,7 @@ func (g *Generator) attackTraffic(dt *DayTraffic, ev *AttackEvent) {
 		for i := 0; i < k; i++ {
 			t := ev.Start.Add(simclock.Duration(g.rng.Int63n(int64(ev.Duration) + 1)))
 			frame := g.buildResponseFrame(amp, ev, tmpl, t, end)
-			dt.IXP = append(dt.IXP, TaggedRecord{Rec: g.Sampler.Take(t, frame)})
+			dt.IXP = append(dt.IXP, TaggedRecord{Rec: g.sampler.Take(t, frame)})
 		}
 	}
 
@@ -209,11 +251,11 @@ func (g *Generator) attackTraffic(dt *DayTraffic, ev *AttackEvent) {
 			if c.Topo.MemberFor(amp.ASN) == ev.IngressAS {
 				continue // stays inside the ingress cone
 			}
-			k := g.Sampler.ThinFlow(ev.ReqPerAmp)
+			k := g.sampler.ThinFlow(ev.ReqPerAmp)
 			for i := 0; i < k; i++ {
 				t := ev.Start.Add(simclock.Duration(g.rng.Int63n(int64(ev.Duration) + 1)))
 				frame := g.buildRequestFrame(amp, ev, t, end)
-				dt.IXP = append(dt.IXP, TaggedRecord{Rec: g.Sampler.Take(t, frame), Ingress: ev.IngressAS})
+				dt.IXP = append(dt.IXP, TaggedRecord{Rec: g.sampler.Take(t, frame), Ingress: ev.IngressAS})
 			}
 		}
 	}
@@ -222,7 +264,7 @@ func (g *Generator) attackTraffic(dt *DayTraffic, ev *AttackEvent) {
 }
 
 // sensorFlows emits the honeypot-side flows of one event.
-func (g *Generator) sensorFlows(dt *DayTraffic, ev *AttackEvent) {
+func (g *dayGen) sensorFlows(dt *DayTraffic, ev *AttackEvent) {
 	for _, sensor := range ev.Sensors {
 		dt.Sensors = append(dt.Sensors, SensorFlow{
 			Sensor:   sensor,
@@ -240,7 +282,7 @@ func (g *Generator) sensorFlows(dt *DayTraffic, ev *AttackEvent) {
 
 // pickTXID draws a transaction ID honouring the event's pools and the
 // phase split of straddling events.
-func (g *Generator) pickTXID(ev *AttackEvent, t, end simclock.Time) uint16 {
+func (g *dayGen) pickTXID(ev *AttackEvent, t, end simclock.Time) uint16 {
 	pool := ev.TXIDs
 	if len(ev.TXIDs2) > 0 {
 		// The shift happens at the event's temporal midpoint.
@@ -258,7 +300,7 @@ func (g *Generator) pickTXID(ev *AttackEvent, t, end simclock.Time) uint16 {
 // responseTemplate returns (building if needed) the encoded ANY response
 // for a misused name on a given day, as an uncapped amplifier would emit
 // it; per-amplifier EDNS caps are applied at frame-build time.
-func (g *Generator) responseTemplate(name string, t simclock.Time) *respTemplate {
+func (g *dayGen) responseTemplate(name string, t simclock.Time) *respTemplate {
 	key := tmplKey{name, t.Day()}
 	tmpl, ok := g.respTmpl[key]
 	if !ok {
@@ -268,7 +310,7 @@ func (g *Generator) responseTemplate(name string, t simclock.Time) *respTemplate
 	return tmpl
 }
 
-func (g *Generator) buildTemplate(name string, t simclock.Time) *respTemplate {
+func (g *dayGen) buildTemplate(name string, t simclock.Time) *respTemplate {
 	z, ok := g.C.DB.Zone(name)
 	if !ok {
 		// Procedural name: small synthetic answer.
@@ -291,7 +333,7 @@ func clone(b []byte) []byte { return append([]byte(nil), b...) }
 
 // buildResponseFrame assembles one amplifier->victim response frame,
 // applying the amplifier's EDNS cap and patching the transaction ID.
-func (g *Generator) buildResponseFrame(amp *Amplifier, ev *AttackEvent, tmpl *respTemplate, t, end simclock.Time) []byte {
+func (g *dayGen) buildResponseFrame(amp *Amplifier, ev *AttackEvent, tmpl *respTemplate, t, end simclock.Time) []byte {
 	size := tmpl.fullLen
 	if amp.MinimalANY {
 		size = 60
@@ -324,7 +366,7 @@ func (g *Generator) buildResponseFrame(amp *Amplifier, ev *AttackEvent, tmpl *re
 }
 
 // buildRequestFrame assembles one spoofed attacker->amplifier query.
-func (g *Generator) buildRequestFrame(amp *Amplifier, ev *AttackEvent, t, end simclock.Time) []byte {
+func (g *dayGen) buildRequestFrame(amp *Amplifier, ev *AttackEvent, t, end simclock.Time) []byte {
 	q := dnswire.NewQuery(g.pickTXID(ev, t, end), ev.QName, ev.QType, 4096)
 	payload := g.enc.Encode(q)
 	eth := netmodel.Ethernet{Src: macForAS(ev.IngressAS), Dst: macForAS(amp.ASN)}
@@ -358,7 +400,7 @@ var backgroundQTypes = []struct {
 }
 
 // backgroundTraffic synthesizes the day's organic sampled DNS packets.
-func (g *Generator) backgroundTraffic(dt *DayTraffic, day simclock.Time) {
+func (g *dayGen) backgroundTraffic(dt *DayTraffic, day simclock.Time) {
 	// Weekly pattern: small dip on weekends (§3.1).
 	n := g.Background.SamplesPerDay
 	if wd := day.Std().Weekday(); wd == 0 || wd == 6 {
@@ -417,11 +459,11 @@ func (g *Generator) backgroundTraffic(dt *DayTraffic, day simclock.Time) {
 		} else {
 			frame = g.buildBackgroundQuery(client, server, name, qtype)
 		}
-		dt.IXP = append(dt.IXP, TaggedRecord{Rec: g.Sampler.Take(t, frame)})
+		dt.IXP = append(dt.IXP, TaggedRecord{Rec: g.sampler.Take(t, frame)})
 	}
 }
 
-func (g *Generator) buildBackgroundQuery(client, server netip.Addr, name string, qtype dnswire.Type) []byte {
+func (g *dayGen) buildBackgroundQuery(client, server netip.Addr, name string, qtype dnswire.Type) []byte {
 	q := dnswire.NewQuery(uint16(g.rng.Intn(1<<16)), name, qtype, 4096)
 	payload := g.enc.Encode(q)
 	eth := netmodel.Ethernet{}
@@ -430,7 +472,7 @@ func (g *Generator) buildBackgroundQuery(client, server netip.Addr, name string,
 	return netmodel.EncodeUDPPacket(eth, ip, udp, payload)
 }
 
-func (g *Generator) buildBackgroundResponse(server, client netip.Addr, name string, qtype dnswire.Type, t simclock.Time) []byte {
+func (g *dayGen) buildBackgroundResponse(server, client netip.Addr, name string, qtype dnswire.Type, t simclock.Time) []byte {
 	size := g.C.DB.ResponseSize(name, qtype, t)
 	// Organic jitter: caches, case randomization, EDNS variations.
 	size += g.rng.Intn(24)

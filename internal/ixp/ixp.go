@@ -88,6 +88,18 @@ type CaptureStats struct {
 	PeerMapped   int
 }
 
+// Add accumulates another capture point's counters, combining the stats
+// of per-worker capture points after a parallel pass.
+func (s *CaptureStats) Add(other CaptureStats) {
+	s.Frames += other.Frames
+	s.NonUDP += other.NonUDP
+	s.NonDNS += other.NonDNS
+	s.Malformed += other.Malformed
+	s.Accepted += other.Accepted
+	s.OriginMapped += other.OriginMapped
+	s.PeerMapped += other.PeerMapped
+}
+
 // NewCapturePoint builds a capture point over the routing substrate.
 func NewCapturePoint(topo *topology.Topology) *CapturePoint {
 	return &CapturePoint{Topo: topo}

@@ -1,0 +1,43 @@
+// Package par provides the indexed parallel-for shared by the
+// worker-pooled pipeline stages.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(worker, i) for every i in [0, n) across up to workers
+// goroutines. Indices are handed out through an atomic counter, so
+// assignment is load-balanced and each worker's index sequence is
+// increasing. Determinism is the caller's contract: fn must write only
+// to per-index or per-worker slots (worker is in [0, workers) and
+// identifies the calling goroutine). With workers <= 1 it degenerates
+// to a plain loop.
+func For(n, workers int, fn func(worker, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

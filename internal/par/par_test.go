@@ -1,0 +1,28 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		For(n, workers, func(worker, i int) {
+			if worker < 0 || (workers > 1 && worker >= workers) {
+				t.Errorf("workers=%d: worker id %d out of range", workers, worker)
+			}
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroLength(t *testing.T) {
+	For(0, 4, func(worker, i int) { t.Error("fn called for n=0") })
+}

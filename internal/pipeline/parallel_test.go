@@ -1,0 +1,67 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"dnsamp/internal/topology"
+)
+
+// determinismConfig is a fast configuration for the parallel-vs-serial
+// equivalence runs (two full studies, also exercised under -race).
+func determinismConfig() Config {
+	cfg := DefaultConfig(0.01)
+	cfg.Campaign.Zones.ProceduralNames = 20_000
+	cfg.Campaign.Topology = topology.Config{Members: 24, ASesPerClass: 40, Seed: 1}
+	return cfg
+}
+
+// TestParallelMatchesSerial is the engine's determinism guarantee: at a
+// fixed TrafficSeed, a worker-pooled run must produce a Study identical
+// to the serial run — aggregates, selectors, detections, records, and
+// ordering included.
+func TestParallelMatchesSerial(t *testing.T) {
+	serialCfg := determinismConfig()
+	serialCfg.Concurrency = 1
+	parallelCfg := determinismConfig()
+	parallelCfg.Concurrency = 8
+
+	serial := Run(serialCfg)
+	parallel := Run(parallelCfg)
+
+	check := func(field string, a, b interface{}) {
+		t.Helper()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s differs between serial and parallel runs", field)
+		}
+	}
+	check("CaptureStats", serial.CaptureStats, parallel.CaptureStats)
+	check("AggMain", serial.AggMain, parallel.AggMain)
+	check("AggExt", serial.AggExt, parallel.AggExt)
+	check("HoneypotAttacks", serial.HoneypotAttacks, parallel.HoneypotAttacks)
+	check("Sel1", serial.Sel1, parallel.Sel1)
+	check("Sel2", serial.Sel2, parallel.Sel2)
+	check("Sel3", serial.Sel3, parallel.Sel3)
+	check("ConsensusN", serial.ConsensusN, parallel.ConsensusN)
+	check("ConsensusCurve", serial.ConsensusCurve, parallel.ConsensusCurve)
+	check("VisibleGroundTruth", serial.VisibleGroundTruth, parallel.VisibleGroundTruth)
+	check("NameList", serial.NameList, parallel.NameList)
+	check("Detections", serial.Detections, parallel.Detections)
+	check("DetectionsExt", serial.DetectionsExt, parallel.DetectionsExt)
+	check("Records", serial.Records, parallel.Records)
+	check("VisibleNS", serial.VisibleNS, parallel.VisibleNS)
+}
+
+// TestConcurrencyDefaults ensures the zero value selects the automatic
+// pool width rather than a degenerate zero-worker run.
+func TestConcurrencyDefaults(t *testing.T) {
+	if (Config{}).workers() < 1 {
+		t.Fatal("zero-value Config must default to at least one worker")
+	}
+	if (Config{Concurrency: -3}).workers() < 1 {
+		t.Fatal("negative Concurrency must default to at least one worker")
+	}
+	if got := (Config{Concurrency: 5}).workers(); got != 5 {
+		t.Fatalf("explicit Concurrency ignored: got %d", got)
+	}
+}

@@ -2,13 +2,30 @@
 // campaign, materializes traffic, runs the honeypot inference and the
 // IXP detection pipeline (both passes), and bundles everything the
 // analyses of §5–§7 need.
+//
+// The engine is staged and worker-pooled. Traffic days are materialized
+// in parallel across Config.Concurrency workers; each worker feeds its
+// own private core.Aggregator shard (single-writer, no locks on the hot
+// path), and the shards are merged at the stage barrier. The selector
+// consensus sweep and the pass-2 detail collection are parallelized the
+// same way.
+//
+// Determinism guarantee: a run at a fixed TrafficSeed produces the same
+// Study — detections, records, name list, curves, and aggregate state —
+// at every Concurrency level, including the serial Concurrency == 1
+// path. This holds because each traffic day is a pure function of
+// (campaign, seed, day), per-day results land in per-day slots merged
+// in day order, and shard merging is commutative.
 package pipeline
 
 import (
+	"runtime"
+
 	"dnsamp/internal/core"
 	"dnsamp/internal/ecosystem"
 	"dnsamp/internal/honeypot"
 	"dnsamp/internal/ixp"
+	"dnsamp/internal/par"
 	"dnsamp/internal/simclock"
 )
 
@@ -23,6 +40,11 @@ type Config struct {
 	// period (needed for Fig. 8; disable to halve runtime when only
 	// main-window results are required).
 	ExtendedWindow bool
+	// Concurrency is the worker-pool width for traffic materialization,
+	// aggregation, the selector sweep, and pass 2. Zero or negative
+	// means runtime.GOMAXPROCS(0); 1 forces the serial path. Results
+	// are identical at every setting.
+	Concurrency int
 }
 
 // DefaultConfig returns a study configuration at the given scale.
@@ -33,6 +55,8 @@ func DefaultConfig(scale float64) Config {
 		Thresholds:     core.DefaultThresholds(),
 		MaxSelectorN:   70,
 		ExtendedWindow: true,
+		// Concurrency stays 0: the portable "all cores" value, resolved
+		// by workers() at run time.
 	}
 }
 
@@ -75,6 +99,34 @@ type Study struct {
 	CaptureStats ixp.CaptureStats
 }
 
+// workers returns the effective pool width.
+func (cfg Config) workers() int {
+	if cfg.Concurrency > 0 {
+		return cfg.Concurrency
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// daysOf collects the start-of-day times of a window.
+func daysOf(w simclock.Window) []simclock.Time {
+	days := make([]simclock.Time, 0, w.Days())
+	w.EachDay(func(day simclock.Time) { days = append(days, day) })
+	return days
+}
+
+// forEachDay runs fn(worker, i, days[i]) for every day across a pool of
+// workers; fn must write its results into per-day or per-worker slots
+// only.
+func forEachDay(days []simclock.Time, workers int, fn func(worker, i int, day simclock.Time)) {
+	par.For(len(days), workers, func(worker, i int) { fn(worker, i, days[i]) })
+}
+
+// pass1Shard is one worker's private single-writer aggregation state.
+type pass1Shard struct {
+	aggMain, aggExt *core.Aggregator
+	cap             *ixp.CapturePoint
+}
+
 // Run executes the full study.
 func Run(cfg Config) *Study {
 	st := &Study{Cfg: cfg}
@@ -86,20 +138,31 @@ func Run(cfg Config) *Study {
 	if cfg.ExtendedWindow {
 		full = simclock.EntityPeriod()
 	}
+	days := daysOf(full)
+	workers := cfg.workers()
 
 	track := append([]string{}, c.DB.ExplicitNames()...)
 
 	// --- Pass 1: aggregate + honeypot ---------------------------------
+	// Workers materialize days in parallel; each observes into its own
+	// aggregator shard and capture point (single writer, no locks).
+	// Honeypot sensor flows are kept in per-day slots and fed to the
+	// platform serially in day order at the barrier.
 	gen := ecosystem.NewGenerator(c, cfg.TrafficSeed)
-	cap1 := ixp.NewCapturePoint(c.Topo)
-	st.AggMain = core.NewAggregator(track)
-	st.AggExt = core.NewAggregator(track)
-	hp := honeypot.NewPlatform(honeypot.CCCThresholds(), cfg.Campaign.NumSensors)
-
-	full.EachDay(func(day simclock.Time) {
+	shards := make([]*pass1Shard, workers)
+	for w := range shards {
+		shards[w] = &pass1Shard{
+			aggMain: core.NewAggregator(track),
+			aggExt:  core.NewAggregator(track),
+			cap:     ixp.NewCapturePoint(c.Topo),
+		}
+	}
+	dayFlows := make([][]ecosystem.SensorFlow, len(days))
+	forEachDay(days, workers, func(worker, i int, day simclock.Time) {
+		sh := shards[worker]
 		dt := gen.Day(day)
 		for _, tr := range dt.IXP {
-			s, ok := cap1.Process(tr.Rec)
+			s, ok := sh.cap.Process(tr.Rec)
 			if !ok {
 				continue
 			}
@@ -107,18 +170,32 @@ func Run(cfg Config) *Study {
 				s.PeerAS = tr.Ingress
 			}
 			if window.Contains(s.Time) {
-				st.AggMain.Observe(&s)
+				sh.aggMain.Observe(&s)
 			} else {
-				st.AggExt.Observe(&s)
+				sh.aggExt.Observe(&s)
 			}
 		}
-		for _, sf := range dt.Sensors {
+		dayFlows[i] = dt.Sensors
+	})
+
+	// Stage barrier: merge shards (commutative, so worker order is
+	// irrelevant) and replay sensor flows in day order.
+	st.AggMain = shards[0].aggMain
+	st.AggExt = shards[0].aggExt
+	st.CaptureStats = shards[0].cap.Stats
+	for _, sh := range shards[1:] {
+		st.AggMain.Merge(sh.aggMain)
+		st.AggExt.Merge(sh.aggExt)
+		st.CaptureStats.Add(sh.cap.Stats)
+	}
+	hp := honeypot.NewPlatform(honeypot.CCCThresholds(), cfg.Campaign.NumSensors)
+	for _, flows := range dayFlows {
+		for _, sf := range flows {
 			if window.Contains(sf.Start) {
 				hp.Observe(sf)
 			}
 		}
-	})
-	st.CaptureStats = cap1.Stats
+	}
 	st.HoneypotAttacks = hp.Finalize()
 
 	// --- Selectors and name list --------------------------------------
@@ -129,7 +206,7 @@ func Run(cfg Config) *Study {
 	st.Sel1 = core.Selector1MaxSize(st.AggMain)
 	st.Sel2 = core.Selector2ANYCount(st.AggMain)
 	st.Sel3, st.VisibleGroundTruth = core.Selector3GroundTruth(st.AggMain, gts)
-	st.ConsensusN, st.ConsensusCurve = core.ConsensusPoint(cfg.MaxSelectorN, st.Sel1, st.Sel2, st.Sel3)
+	st.ConsensusN, st.ConsensusCurve = core.ConsensusPointParallel(cfg.MaxSelectorN, workers, st.Sel1, st.Sel2, st.Sel3)
 	st.NameList = core.BuildNameList(st.ConsensusN, st.Sel1, st.Sel2, st.Sel3)
 
 	// --- Detection ------------------------------------------------------
@@ -139,11 +216,38 @@ func Run(cfg Config) *Study {
 	}
 
 	// --- Pass 2: per-attack details ------------------------------------
+	// A sample lands in the record keyed by its own (client, sample-day),
+	// but events straddling midnight emit samples on days after their
+	// generation day. Each generation day therefore gets a private
+	// collector over the detections it can possibly feed — its own day
+	// plus the campaign's maximum event span ("spill horizon") — and
+	// days that cannot feed any detection are skipped entirely. The
+	// per-day partials are merged into the full collector in day order
+	// at the barrier, which reproduces the serial collector's record
+	// and VisibleNS ordering exactly.
 	all := append(append([]*core.Detection{}, st.Detections...), st.DetectionsExt...)
-	col := core.NewCollector(all, st.NameList.Names)
+	detsByDay := make(map[int][]*core.Detection)
+	for _, d := range all {
+		detsByDay[d.Day] = append(detsByDay[d.Day], d)
+	}
+	spill := 0
+	for _, ev := range c.Events {
+		if s := ev.End().Day() - ev.Start.Day(); s > spill {
+			spill = s
+		}
+	}
 	gen2 := ecosystem.NewGenerator(c, cfg.TrafficSeed)
-	cap2 := ixp.NewCapturePoint(c.Topo)
-	full.EachDay(func(day simclock.Time) {
+	dayCols := make([]*core.Collector, len(days))
+	forEachDay(days, workers, func(worker, i int, day simclock.Time) {
+		var dets []*core.Detection
+		for d := day.Day(); d <= day.Day()+spill; d++ {
+			dets = append(dets, detsByDay[d]...)
+		}
+		if len(dets) == 0 {
+			return
+		}
+		col := core.NewCollector(dets, st.NameList.Names)
+		cap2 := ixp.NewCapturePoint(c.Topo)
 		dt := gen2.Day(day)
 		for _, tr := range dt.IXP {
 			s, ok := cap2.Process(tr.Rec)
@@ -155,7 +259,14 @@ func Run(cfg Config) *Study {
 			}
 			col.Observe(&s)
 		}
+		dayCols[i] = col
 	})
+	col := core.NewCollector(all, st.NameList.Names)
+	for _, dc := range dayCols {
+		if dc != nil {
+			col.Merge(dc)
+		}
+	}
 	col.SetVictimASN(func(v [4]byte) uint32 {
 		return c.Topo.OriginAS(ecosystem.AddrFromKey(v))
 	})
