@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt vet ci
+.PHONY: all build test race bench bench-baseline bench-compare fuzz fmt vet ci
 
 all: build test
 
@@ -16,9 +16,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Bench smoke: every benchmark compiles and runs once.
+# Bench smoke: every benchmark compiles and runs once, with allocation
+# counts reported.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./...
+
+# Record the benchmark baseline: full suite with -benchmem, kept both as
+# benchstat-compatible text and as machine-readable JSON. Commit the two
+# BENCH_baseline.* files so future PRs can post their delta.
+bench-baseline:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1s -timeout 40m . | tee BENCH_baseline.txt
+	$(GO) run ./cmd/benchjson < BENCH_baseline.txt > BENCH_baseline.json
+
+# Compare the working tree against the committed baseline (needs
+# benchstat: go install golang.org/x/perf/cmd/benchstat@latest).
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1s -timeout 40m . > /tmp/bench_head.txt
+	benchstat BENCH_baseline.txt /tmp/bench_head.txt
 
 # Fuzz smoke: a short coverage-guided run of the wire-parser target.
 fuzz:

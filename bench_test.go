@@ -21,6 +21,7 @@ import (
 	"dnsamp/internal/ecosystem"
 	"dnsamp/internal/experiments"
 	"dnsamp/internal/honeypot"
+	"dnsamp/internal/ixp"
 	"dnsamp/internal/netmodel"
 	"dnsamp/internal/openintel"
 	"dnsamp/internal/pipeline"
@@ -373,9 +374,46 @@ func BenchmarkTrafficDay(b *testing.B) {
 	c := ecosystem.NewCampaign(cfg)
 	g := ecosystem.NewGenerator(c, 7)
 	day := simclock.MeasurementStart.Add(simclock.Days(10))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Day(day.Add(simclock.Days(i % 30)))
+	}
+}
+
+// BenchmarkTrafficDayWire measures the frame-materializing twin of
+// BenchmarkTrafficDay; the gap between the two is what the columnar
+// batch path buys per day of traffic.
+func BenchmarkTrafficDayWire(b *testing.B) {
+	cfg := ecosystem.DefaultCampaignConfig(0.01)
+	cfg.Zones.ProceduralNames = 20_000
+	c := ecosystem.NewCampaign(cfg)
+	g := ecosystem.NewGenerator(c, 7)
+	day := simclock.MeasurementStart.Add(simclock.Days(10))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.WireDay(day.Add(simclock.Days(i % 30)))
+	}
+}
+
+// BenchmarkBatchConsume measures the decode/aggregate side alone: one
+// pre-built day batch replayed through a capture point into a warmed
+// aggregator (the loop the parallel pass-1 workers spend their time in).
+func BenchmarkBatchConsume(b *testing.B) {
+	cfg := ecosystem.DefaultCampaignConfig(0.01)
+	cfg.Zones.ProceduralNames = 20_000
+	c := ecosystem.NewCampaign(cfg)
+	g := ecosystem.NewGenerator(c, 7)
+	dt := g.Day(simclock.MeasurementStart.Add(simclock.Days(10)))
+	cap := ixp.NewCapturePoint(c.Topo, g.Table())
+	ag := core.NewAggregator(g.Table(), c.DB.ExplicitNames())
+	observe := func(s *ixp.DNSSample) { ag.Observe(s) }
+	cap.ConsumeBatch(dt.Batch, observe)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cap.ConsumeBatch(dt.Batch, observe)
 	}
 }
 
@@ -392,6 +430,7 @@ func benchPipelineConfig() pipeline.Config {
 func BenchmarkPipelineSerial(b *testing.B) {
 	cfg := benchPipelineConfig()
 	cfg.Concurrency = 1
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pipeline.Run(cfg)
@@ -401,6 +440,7 @@ func BenchmarkPipelineSerial(b *testing.B) {
 func BenchmarkPipelineParallel(b *testing.B) {
 	cfg := benchPipelineConfig()
 	cfg.Concurrency = 0 // all cores
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pipeline.Run(cfg)

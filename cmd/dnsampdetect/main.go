@@ -11,7 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"slices"
 	"time"
 
 	"dnsamp/internal/dnswire"
@@ -54,7 +54,7 @@ func main() {
 	for d := range byDay {
 		days = append(days, d)
 	}
-	sort.Ints(days)
+	slices.Sort(days)
 	fmt.Println("\nday          attacks")
 	for _, d := range days {
 		fmt.Printf("%s %8d\n", (simclock.Time(d) * simclock.Time(simclock.Day)).Date(), byDay[d])

@@ -33,8 +33,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "building campaign (scale %.2f)...\n", *scale)
 	c := ecosystem.NewCampaign(ecosystem.DefaultCampaignConfig(*scale))
 	gen := ecosystem.NewGenerator(c, 11)
-	capture := ixp.NewCapturePoint(c.Topo)
 	mon := core.NewMonitor(*listSize, simclock.Duration(interval.Seconds()), core.DefaultThresholds())
+	capture := ixp.NewCapturePoint(c.Topo, mon.Table())
 
 	// The online monitor is stateful and must see traffic in day order,
 	// so concurrency takes the form of a bounded prefetch: day traffic
@@ -69,17 +69,12 @@ func main() {
 	}()
 	for i, day := range dayList {
 		dt := <-slots[i]
-		for _, tr := range dt.IXP {
-			s, ok := capture.Process(tr.Rec)
-			if !ok {
-				continue
-			}
-			if tr.Ingress != 0 {
-				s.PeerAS = tr.Ingress
-			}
-			mon.Observe(&s)
+		n := 0
+		if dt.Batch != nil {
+			n = dt.Batch.N
 		}
-		fmt.Fprintf(os.Stderr, "%s: %d samples processed\n", day.Date(), len(dt.IXP))
+		capture.ConsumeBatch(dt.Batch, mon.Observe)
+		fmt.Fprintf(os.Stderr, "%s: %d samples processed\n", day.Date(), n)
 		<-sem
 	}
 	mon.Close(end)

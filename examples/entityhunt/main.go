@@ -6,7 +6,7 @@ package main
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"dnsamp/internal/analysis"
 	"dnsamp/internal/pipeline"
@@ -45,7 +45,7 @@ func main() {
 		}
 		spans = append(spans, s)
 	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].first < spans[j].first })
+	slices.SortFunc(spans, func(a, b span) int { return int(a.first - b.first) })
 	for _, s := range spans {
 		fmt.Printf("  %-26s %s .. %s\n", s.name,
 			(simclock.Time(s.first) * simclock.Time(simclock.Day)).Date(),
@@ -65,7 +65,7 @@ func main() {
 	for p := range ent.RequestShareByPhase {
 		phases = append(phases, p)
 	}
-	sort.Ints(phases)
+	slices.Sort(phases)
 	for _, p := range phases {
 		fmt.Printf("  phase %d: %.0f%% requests (paper: ~0%% before, ~85%% after relocation 1)\n",
 			p, 100*ent.RequestShareByPhase[p])

@@ -19,8 +19,8 @@ import (
 func main() {
 	c := ecosystem.NewCampaign(ecosystem.DefaultCampaignConfig(0.03))
 	gen := ecosystem.NewGenerator(c, 11)
-	capture := ixp.NewCapturePoint(c.Topo)
 	mon := core.NewMonitor(29, 5*simclock.Minute, core.DefaultThresholds())
+	capture := ixp.NewCapturePoint(c.Topo, mon.Table())
 
 	// Stream one week that includes an entity name transition so the
 	// list update is visible.
@@ -28,16 +28,7 @@ func main() {
 	for d := 0; d < 7; d++ {
 		day := start.Add(simclock.Days(d))
 		names := c.Entity.NameAt(day)
-		for _, tr := range gen.Day(day).IXP {
-			s, ok := capture.Process(tr.Rec)
-			if !ok {
-				continue
-			}
-			if tr.Ingress != 0 {
-				s.PeerAS = tr.Ingress
-			}
-			mon.Observe(&s)
-		}
+		capture.ConsumeBatch(gen.Day(day).Batch, mon.Observe)
 		fmt.Printf("%s streamed (entity currently misuses %v)\n", day.Date(), names)
 	}
 	mon.Close(start.Add(simclock.Days(7)))

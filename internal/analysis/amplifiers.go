@@ -2,7 +2,7 @@ package analysis
 
 import (
 	"net/netip"
-	"sort"
+	"slices"
 
 	"dnsamp/internal/cluster"
 	"dnsamp/internal/core"
@@ -139,7 +139,7 @@ func AnalyzeAmplifiers(records []*core.AttackRecord, feed *openintel.Feed, scans
 	for d := range perDay {
 		days = append(days, d)
 	}
-	sort.Ints(days)
+	slices.Sort(days)
 	var overlapSum float64
 	overlapN := 0
 	for i := 1; i < len(days); i++ {
@@ -327,7 +327,7 @@ func ClusterAmplifierSets(records []*core.AttackRecord, eps float64, minPts, max
 					keep = append(keep, i)
 				}
 			}
-			sort.Ints(keep)
+			slices.Sort(keep)
 			idx = keep
 		}
 		sub := cluster.NewDense(len(idx))

@@ -302,13 +302,14 @@ func TestClusterEmbedding(t *testing.T) {
 }
 
 func TestComputeTrafficShares(t *testing.T) {
-	ag := core.NewAggregator([]string{"bad.test."})
+	ag := core.NewAggregator(nil, []string{"bad.test."})
 	// Construct via public Observe path is exercised in core tests;
 	// here we drive the share math directly through detections.
 	// Simulate one attacked client and background by hand.
 	// (Uses the core test helper pattern inline.)
 	mk := func(client byte, name string, size int, any bool) {
 		s := mkIxpSample(client, name, size, any)
+		s.Name = ag.Table.Intern(name)
 		ag.Observe(s)
 	}
 	for i := 0; i < 10; i++ {

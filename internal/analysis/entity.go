@@ -1,7 +1,7 @@
 package analysis
 
 import (
-	"sort"
+	"slices"
 
 	"dnsamp/internal/core"
 	"dnsamp/internal/dnswire"
@@ -172,7 +172,7 @@ func AnalyzeEntity(records []*core.AttackRecord, mainWindowAttacks int, f Entity
 			res.Records = append(res.Records, r)
 		}
 	}
-	sort.Slice(res.Records, func(i, j int) bool { return res.Records[i].Day < res.Records[j].Day })
+	slices.SortFunc(res.Records, func(a, b *core.AttackRecord) int { return a.Day - b.Day })
 
 	mainCount := 0
 	pure := 0
@@ -253,7 +253,7 @@ func (res *EntityResult) analyzeTransitions() {
 	for d := range byDay {
 		days = append(days, d)
 	}
-	sort.Ints(days)
+	slices.Sort(days)
 	prev := ""
 	for _, d := range days {
 		best, bestName := 0, ""
@@ -291,7 +291,7 @@ func (res *EntityResult) analyzeVictims() {
 	for d := range byDay {
 		days = append(days, d)
 	}
-	sort.Ints(days)
+	slices.Sort(days)
 	for _, d := range days {
 		ds := byDay[d]
 		res.VictimSeries = append(res.VictimSeries, VictimDay{
@@ -319,7 +319,7 @@ func (res *EntityResult) analyzeAmplifiers() {
 	for d := range byDay {
 		days = append(days, d)
 	}
-	sort.Ints(days)
+	slices.Sort(days)
 	seen := make(map[[4]byte]bool)
 	for _, d := range days {
 		known, fresh := 0, 0
@@ -364,7 +364,7 @@ func (res *EntityResult) analyzeRelocations() {
 	for d := range byDay {
 		days = append(days, d)
 	}
-	sort.Ints(days)
+	slices.Sort(days)
 
 	// Phase request shares (0 = before first relocation).
 	var phases []struct {

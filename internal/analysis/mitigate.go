@@ -1,7 +1,7 @@
 package analysis
 
 import (
-	"sort"
+	"slices"
 
 	"dnsamp/internal/core"
 	"dnsamp/internal/ecosystem"
@@ -86,7 +86,7 @@ func AnalyzeMitigation(records []*core.AttackRecord, pool *ecosystem.Pool) *Miti
 			res.TopUpstreamForwarders = n
 		}
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	slices.SortFunc(counts, func(a, b int) int { return b - a })
 	cum := 0
 	res.UpstreamCurve = make([]float64, len(counts))
 	for i, c := range counts {

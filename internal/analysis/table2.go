@@ -1,7 +1,7 @@
 package analysis
 
 import (
-	"sort"
+	"slices"
 
 	"dnsamp/internal/core"
 	"dnsamp/internal/dnswire"
@@ -78,7 +78,7 @@ func Table2(records []*core.AttackRecord, candidates map[string]bool) []Table2Ro
 		}
 		rows = append(rows, row)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Attacks > rows[j].Attacks })
+	slices.SortFunc(rows, func(a, b Table2Row) int { return b.Attacks - a.Attacks })
 	return rows
 }
 
@@ -98,7 +98,7 @@ func AttackDurations(records []*core.AttackRecord) DurationQuartiles {
 	if len(xs) == 0 {
 		return DurationQuartiles{}
 	}
-	sort.Float64s(xs)
+	slices.Sort(xs)
 	q := func(p float64) float64 {
 		i := int(p * float64(len(xs)-1))
 		return xs[i]

@@ -11,11 +11,17 @@
 //     sized at their Jaccard consensus point and merged.
 //  3. Attack detection (detect.go): the traffic-share and minimum-packet
 //     thresholds, grouping packets into attack events.
+//
+// The hot path operates on interned name IDs (internal/names): per-name
+// state is a dense ID-indexed slice, per-client tracked names are short
+// sorted ID lists, and candidate membership is a bitset. Strings appear
+// only at report boundaries.
 package core
 
 import (
 	"dnsamp/internal/dnswire"
 	"dnsamp/internal/ixp"
+	"dnsamp/internal/names"
 	"dnsamp/internal/simclock"
 )
 
@@ -24,6 +30,12 @@ import (
 type ClientDay struct {
 	Client [4]byte
 	Day    int // days since epoch
+}
+
+// NameCount is one (interned name, packet count) entry.
+type NameCount struct {
+	ID uint32
+	N  int
 }
 
 // ClientAgg is the per-(client, day) traffic profile.
@@ -36,19 +48,53 @@ type ClientAgg struct {
 	// ANYPackets / ANYBytes cover the type-ANY subset.
 	ANYPackets int
 	ANYBytes   int
-	// Tracked counts packets per tracked name (candidate universe).
-	Tracked map[string]int
+	// Tracked counts packets per tracked name (candidate universe),
+	// sorted by name ID. Most clients track one or two names, so a
+	// short sorted slice beats a map by a wide margin.
+	Tracked []NameCount
 	// First and Last bound the observed activity.
 	First, Last simclock.Time
+}
+
+// addTracked bumps the count of one tracked name, keeping the slice
+// sorted by ID. The linear insertion is intentional: tracked lists are
+// one or two entries long in the pipeline's explicit-track mode, and
+// even under the monitor's trackAll mode a client contributes only a
+// handful of sampled packets (1:16k sampling) per day, bounding the
+// list well below where a map would win.
+func (a *ClientAgg) addTracked(id uint32, n int) {
+	for i := range a.Tracked {
+		switch {
+		case a.Tracked[i].ID == id:
+			a.Tracked[i].N += n
+			return
+		case a.Tracked[i].ID > id:
+			a.Tracked = append(a.Tracked, NameCount{})
+			copy(a.Tracked[i+1:], a.Tracked[i:])
+			a.Tracked[i] = NameCount{ID: id, N: n}
+			return
+		}
+	}
+	a.Tracked = append(a.Tracked, NameCount{ID: id, N: n})
 }
 
 // TrackedTotal sums the tracked-name packet counts.
 func (a *ClientAgg) TrackedTotal() int {
 	n := 0
 	for _, c := range a.Tracked {
-		n += c
+		n += c.N
 	}
 	return n
+}
+
+// TrackedCount returns the tracked packet count of one name ID.
+func (a *ClientAgg) TrackedCount(id uint32) int {
+	for _, c := range a.Tracked {
+		if c.ID == id {
+			return c.N
+		}
+	}
+	return 0
 }
 
 // NameStats is the global per-name aggregate feeding Selectors 1 and 2.
@@ -62,13 +108,27 @@ type NameStats struct {
 	Packets int
 }
 
-// Aggregator is the streaming pass-1 state.
+// Aggregator is the streaming pass-1 state. Per-name state is indexed
+// by the interned name IDs of Table; workers run private aggregators
+// over worker-local tables and fold them with Merge + Canonicalize at
+// the stage barrier.
 type Aggregator struct {
-	// trackNames is the name universe tracked per client (memory
-	// bound); global per-name stats cover every observed name.
-	trackNames map[string]bool
+	// Table is the name-ID space of all per-name state. Samples
+	// observed must carry Name IDs of this table (i.e. come from a
+	// capture point sharing it).
+	Table *names.Table
 
-	Names   map[string]*NameStats
+	// trackAll tracks every observed name per client (the live
+	// monitor's mode; affordable because it retains one day of state).
+	trackAll bool
+	// tracked is the per-client name universe (memory bound), as a
+	// bitset over name IDs.
+	tracked []bool
+
+	// names holds per-name stats indexed by ID; entries beyond the
+	// slice are implicitly zero.
+	names []NameStats
+
 	Clients map[ClientDay]*ClientAgg
 
 	// Samples counts accepted DNS samples.
@@ -82,22 +142,78 @@ type Aggregator struct {
 	ANYBytes   int
 }
 
-// NewAggregator creates an aggregator tracking the given per-client name
-// universe (typically the explicit zone list plus the root name; the
-// candidate list is always a subset).
-func NewAggregator(trackNames []string) *Aggregator {
-	tn := make(map[string]bool, len(trackNames))
+// NewAggregator creates an aggregator over the given interning table (a
+// fresh table when nil), tracking the given per-client name universe
+// (typically the explicit zone list plus the root name; the candidate
+// list is always a subset).
+func NewAggregator(tab *names.Table, trackNames []string) *Aggregator {
+	if tab == nil {
+		tab = names.NewTable()
+	}
+	ag := &Aggregator{
+		Table:   tab,
+		Clients: make(map[ClientDay]*ClientAgg),
+	}
 	for _, n := range trackNames {
-		tn[n] = true
+		ag.setTracked(tab.Intern(dnswire.CanonicalName(n)))
 	}
-	return &Aggregator{
-		trackNames: tn,
-		Names:      make(map[string]*NameStats),
-		Clients:    make(map[ClientDay]*ClientAgg),
-	}
+	return ag
 }
 
-// Observe ingests one sanitized sample.
+// SetTrackAll switches the aggregator to track every observed name per
+// client (live-monitor mode).
+func (ag *Aggregator) SetTrackAll(v bool) { ag.trackAll = v }
+
+func (ag *Aggregator) setTracked(id uint32) {
+	for len(ag.tracked) <= int(id) {
+		ag.tracked = append(ag.tracked, false)
+	}
+	ag.tracked[id] = true
+}
+
+func (ag *Aggregator) isTracked(id uint32) bool {
+	return ag.trackAll || (int(id) < len(ag.tracked) && ag.tracked[id])
+}
+
+// statsFor returns the per-name slot for id, growing the dense slice on
+// first sight of a higher ID.
+func (ag *Aggregator) statsFor(id uint32) *NameStats {
+	if int(id) >= len(ag.names) {
+		if int(id) >= cap(ag.names) {
+			grown := make([]NameStats, int(id)+1, 1+cap(ag.names)*2+int(id))
+			copy(grown, ag.names)
+			ag.names = grown
+		} else {
+			ag.names = ag.names[:int(id)+1]
+		}
+	}
+	return &ag.names[id]
+}
+
+// NameStatsOf returns the stats of a name (zero when never observed) —
+// a report-boundary convenience.
+func (ag *Aggregator) NameStatsOf(name string) NameStats {
+	id, ok := ag.Table.Lookup(dnswire.CanonicalName(name))
+	if !ok || int(id) >= len(ag.names) {
+		return NameStats{}
+	}
+	return ag.names[id]
+}
+
+// NumNames returns the number of names with observed traffic.
+func (ag *Aggregator) NumNames() int {
+	n := 0
+	for i := range ag.names {
+		if ag.names[i].Packets > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Observe ingests one sanitized sample. The sample's Name ID must be in
+// the aggregator's table space; the hot loop performs no per-packet
+// allocation in steady state.
 func (ag *Aggregator) Observe(s *ixp.DNSSample) {
 	ag.Samples++
 	if !s.IsResponse {
@@ -110,11 +226,7 @@ func (ag *Aggregator) Observe(s *ixp.DNSSample) {
 		ag.ANYBytes += s.MsgSize
 	}
 
-	ns := ag.Names[s.QName]
-	if ns == nil {
-		ns = &NameStats{}
-		ag.Names[s.QName] = ns
-	}
+	ns := ag.statsFor(s.Name)
 	ns.Packets++
 	if isANY {
 		ns.ANYPackets++
@@ -141,25 +253,34 @@ func (ag *Aggregator) Observe(s *ixp.DNSSample) {
 	if s.Time.After(ca.Last) {
 		ca.Last = s.Time
 	}
-	if ag.trackNames[s.QName] {
-		if ca.Tracked == nil {
-			ca.Tracked = make(map[string]int, 2)
-		}
-		ca.Tracked[s.QName]++
+	if ag.isTracked(s.Name) {
+		ca.addTracked(s.Name, 1)
 	}
 }
 
-// Merge folds another aggregator's state into ag. Aggregation is
-// commutative (sums, maxima, and time bounds), so merging shards in any
-// order yields the same state as a single aggregator observing every
-// sample — the property the parallel pipeline relies on. The other
-// aggregator's maps are not retained; other must not be used afterwards.
+// Merge folds another aggregator's state into ag, translating the other
+// aggregator's name IDs into ag's table. Aggregation is commutative
+// (sums, maxima, and time bounds), so merging shards in any order —
+// followed by Canonicalize — yields the same state as a single
+// aggregator observing every sample: the property the parallel pipeline
+// relies on. The other aggregator must not be used afterwards.
 func (ag *Aggregator) Merge(other *Aggregator) {
 	if other == nil {
 		return
 	}
-	for n := range other.trackNames {
-		ag.trackNames[n] = true
+	remap := ag.Table.Remap(other.Table) // nil = identity
+	xl := func(id uint32) uint32 {
+		if remap == nil {
+			return id
+		}
+		return remap[id]
+	}
+
+	ag.trackAll = ag.trackAll || other.trackAll
+	for id, t := range other.tracked {
+		if t {
+			ag.setTracked(xl(uint32(id)))
+		}
 	}
 	ag.Samples += other.Samples
 	ag.Requests += other.Requests
@@ -167,13 +288,12 @@ func (ag *Aggregator) Merge(other *Aggregator) {
 	ag.ANYPackets += other.ANYPackets
 	ag.ANYBytes += other.ANYBytes
 
-	for n, ons := range other.Names {
-		ns := ag.Names[n]
-		if ns == nil {
-			cp := *ons
-			ag.Names[n] = &cp
+	for id := range other.names {
+		ons := &other.names[id]
+		if ons.Packets == 0 && ons.MaxSize == 0 && ons.ANYPackets == 0 {
 			continue
 		}
+		ns := ag.statsFor(xl(uint32(id)))
 		ns.Packets += ons.Packets
 		ns.ANYPackets += ons.ANYPackets
 		if ons.MaxSize > ns.MaxSize {
@@ -185,11 +305,9 @@ func (ag *Aggregator) Merge(other *Aggregator) {
 		ca := ag.Clients[key]
 		if ca == nil {
 			cp := *oca
-			if oca.Tracked != nil {
-				cp.Tracked = make(map[string]int, len(oca.Tracked))
-				for n, c := range oca.Tracked {
-					cp.Tracked[n] = c
-				}
+			cp.Tracked = nil
+			for _, tc := range oca.Tracked {
+				cp.addTracked(xl(tc.ID), tc.N)
 			}
 			ag.Clients[key] = &cp
 			continue
@@ -204,21 +322,101 @@ func (ag *Aggregator) Merge(other *Aggregator) {
 		if oca.Last.After(ca.Last) {
 			ca.Last = oca.Last
 		}
-		for n, c := range oca.Tracked {
-			if ca.Tracked == nil {
-				ca.Tracked = make(map[string]int, len(oca.Tracked))
-			}
-			ca.Tracked[n] += c
+		for _, tc := range oca.Tracked {
+			ca.addTracked(xl(tc.ID), tc.N)
 		}
 	}
 }
 
+// Canonicalize rebuilds the aggregator over the canonical
+// (lexicographically ordered) table of its observed and tracked names.
+// After canonicalization the aggregator's state is byte-identical for
+// any sharding of the same sample stream, because canonical ID
+// assignment is independent of interning order.
+func (ag *Aggregator) Canonicalize() {
+	keep := func(id uint32) bool {
+		if int(id) < len(ag.names) {
+			ns := &ag.names[id]
+			if ns.Packets > 0 || ns.ANYPackets > 0 || ns.MaxSize > 0 {
+				return true
+			}
+		}
+		return int(id) < len(ag.tracked) && ag.tracked[id]
+	}
+	ct, remap := ag.Table.Canonicalize(keep)
+
+	nn := make([]NameStats, ct.Len())
+	for id := range ag.names {
+		if nid := remap[id]; nid != names.None {
+			nn[nid] = ag.names[id]
+		}
+	}
+	nt := make([]bool, ct.Len())
+	trackedAny := false
+	for id, t := range ag.tracked {
+		if t {
+			if nid := remap[id]; nid != names.None {
+				nt[nid] = true
+				trackedAny = true
+			}
+		}
+	}
+	if !trackedAny {
+		nt = nil
+	}
+	for _, ca := range ag.Clients {
+		for i := range ca.Tracked {
+			ca.Tracked[i].ID = remap[ca.Tracked[i].ID]
+		}
+		// Remap preserves no order; restore the sorted-by-ID invariant.
+		for i := 1; i < len(ca.Tracked); i++ {
+			for j := i; j > 0 && ca.Tracked[j-1].ID > ca.Tracked[j].ID; j-- {
+				ca.Tracked[j-1], ca.Tracked[j] = ca.Tracked[j], ca.Tracked[j-1]
+			}
+		}
+	}
+	ag.Table = ct
+	ag.names = nn
+	ag.tracked = nt
+}
+
+// CandidateSet is the set of candidate (misused) name IDs in one
+// aggregator's table space. It is a small ID set, not a table-sized
+// bitset: candidate lists are tens of names while a long-lived table
+// (the live monitor's) accretes hundreds of thousands, and membership
+// checks only run per client-day, not per packet.
+type CandidateSet struct {
+	ids map[uint32]bool
+}
+
+// CandidateSet resolves a candidate name set into the aggregator's ID
+// space. Names the aggregator never saw are ignored (they cannot have
+// packet counts).
+func (ag *Aggregator) CandidateSet(candidates map[string]bool) CandidateSet {
+	cs := CandidateSet{ids: make(map[uint32]bool, len(candidates))}
+	for n, ok := range candidates {
+		if !ok {
+			continue
+		}
+		if id, found := ag.Table.Lookup(dnswire.CanonicalName(n)); found {
+			cs.ids[id] = true
+		}
+	}
+	return cs
+}
+
+// Contains reports candidate membership of a name ID.
+func (cs CandidateSet) Contains(id uint32) bool { return cs.ids[id] }
+
+// Len returns the number of resolved candidate names.
+func (cs CandidateSet) Len() int { return len(cs.ids) }
+
 // ShareOf returns the misused-name traffic share of a client profile
 // with respect to a candidate set.
-func (a *ClientAgg) ShareOf(candidates map[string]bool) (share float64, candPackets int) {
-	for n, c := range a.Tracked {
-		if candidates[n] {
-			candPackets += c
+func (a *ClientAgg) ShareOf(cs CandidateSet) (share float64, candPackets int) {
+	for _, tc := range a.Tracked {
+		if cs.Contains(tc.ID) {
+			candPackets += tc.N
 		}
 	}
 	if a.Total == 0 {

@@ -1,0 +1,60 @@
+//go:build !race
+
+// The AllocsPerRun guards are compiled out under the race detector:
+// race instrumentation adds its own allocations, which is noise, not a
+// hot-path regression. CI runs them in the non-race build job.
+
+package core
+
+import (
+	"testing"
+
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/simclock"
+)
+
+// TestObserveZeroAllocSteadyState guards the aggregate hot path: once a
+// (client, day) profile and the name slots exist, Observe must not
+// allocate — the property that keeps the parallel pass GC-quiet.
+func TestObserveZeroAllocSteadyState(t *testing.T) {
+	ag := NewAggregator(nil, []string{"doj.gov.", "."})
+	resp := mkSample(ag.Table, 1, 0, "doj.gov", dnswire.TypeANY, 4000, true)
+	req := mkSample(ag.Table, 1, 0, "doj.gov", dnswire.TypeANY, 40, false)
+	other := mkSample(ag.Table, 2, 0, "bulk.test", dnswire.TypeA, 120, false)
+	// Warm every slot the measured loop touches.
+	ag.Observe(resp)
+	ag.Observe(req)
+	ag.Observe(other)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		ag.Observe(resp)
+		ag.Observe(req)
+		ag.Observe(other)
+	})
+	if allocs != 0 {
+		t.Errorf("Observe steady state allocates %.1f times per 3 samples, want 0", allocs)
+	}
+}
+
+// TestCollectorObserveAllocBound guards pass 2's per-sample path: the
+// reject path (the overwhelming majority of samples) must be
+// allocation-free; accepted samples only append to amortized slices.
+func TestCollectorObserveAllocBound(t *testing.T) {
+	ag := NewAggregator(nil, []string{"bad.test."})
+	var warm []*ixp.DNSSample
+	for i := 0; i < 15; i++ {
+		warm = append(warm, mkSample(ag.Table, 1, 0, "bad.test", dnswire.TypeANY, 4000, true))
+	}
+	for _, s := range warm {
+		ag.Observe(s)
+	}
+	dets := Detect(ag, map[string]bool{"bad.test.": true}, DefaultThresholds())
+	col := NewCollector(ag.Table, dets, map[string]bool{"bad.test.": true})
+	reject := mkSample(ag.Table, 77, 0, "bulk.test", dnswire.TypeA, 100, false)
+	reject.Time = simclock.MeasurementStart
+	allocs := testing.AllocsPerRun(200, func() { col.Observe(reject) })
+	if allocs != 0 {
+		t.Errorf("Collector reject path allocates %.1f per sample, want 0", allocs)
+	}
+}

@@ -6,13 +6,19 @@ import (
 
 	"dnsamp/internal/dnswire"
 	"dnsamp/internal/ixp"
+	"dnsamp/internal/names"
 	"dnsamp/internal/simclock"
 )
 
-func mkSample(client byte, day int, name string, qtype dnswire.Type, size int, isResp bool) *ixp.DNSSample {
+// mkSample builds a minimal sanitized sample whose name is interned in
+// tab (the table shared with the consuming aggregator/collector).
+func mkSample(tab *names.Table, client byte, day int, name string, qtype dnswire.Type, size int, isResp bool) *ixp.DNSSample {
+	cn := dnswire.CanonicalName(name)
+	id := tab.Intern(cn)
 	s := &ixp.DNSSample{
 		Time:       simclock.MeasurementStart.Add(simclock.Days(day)).Add(simclock.Hour),
-		QName:      dnswire.CanonicalName(name),
+		Name:       id,
+		QName:      tab.Name(id),
 		QType:      qtype,
 		MsgSize:    size,
 		IsResponse: isResp,
@@ -28,16 +34,17 @@ func mkSample(client byte, day int, name string, qtype dnswire.Type, size int, i
 }
 
 func TestAggregatorClientAttribution(t *testing.T) {
-	ag := NewAggregator([]string{"doj.gov."})
+	ag := NewAggregator(nil, []string{"doj.gov."})
 	// Query from client and response to client attribute to the same
 	// (client, day) pair.
-	ag.Observe(mkSample(1, 0, "doj.gov", dnswire.TypeANY, 40, false))
-	ag.Observe(mkSample(1, 0, "doj.gov", dnswire.TypeANY, 4000, true))
+	ag.Observe(mkSample(ag.Table, 1, 0, "doj.gov", dnswire.TypeANY, 40, false))
+	ag.Observe(mkSample(ag.Table, 1, 0, "doj.gov", dnswire.TypeANY, 4000, true))
 	if len(ag.Clients) != 1 {
 		t.Fatalf("client pairs = %d, want 1", len(ag.Clients))
 	}
+	id, _ := ag.Table.Lookup("doj.gov.")
 	for _, ca := range ag.Clients {
-		if ca.Total != 2 || ca.Tracked["doj.gov."] != 2 {
+		if ca.Total != 2 || ca.TrackedCount(id) != 2 {
 			t.Errorf("agg = %+v", ca)
 		}
 		if ca.Bytes != 4040 {
@@ -47,28 +54,28 @@ func TestAggregatorClientAttribution(t *testing.T) {
 			t.Errorf("ANY packets = %d", ca.ANYPackets)
 		}
 	}
-	if ag.Names["doj.gov."].MaxSize != 4000 {
-		t.Errorf("max size = %d (responses only)", ag.Names["doj.gov."].MaxSize)
+	if ag.NameStatsOf("doj.gov.").MaxSize != 4000 {
+		t.Errorf("max size = %d (responses only)", ag.NameStatsOf("doj.gov.").MaxSize)
 	}
-	if ag.Names["doj.gov."].ANYPackets != 2 {
-		t.Errorf("ANY count = %d", ag.Names["doj.gov."].ANYPackets)
+	if ag.NameStatsOf("doj.gov.").ANYPackets != 2 {
+		t.Errorf("ANY count = %d", ag.NameStatsOf("doj.gov.").ANYPackets)
 	}
 }
 
 func TestAggregatorDaySeparation(t *testing.T) {
-	ag := NewAggregator(nil)
-	ag.Observe(mkSample(1, 0, "a.test", dnswire.TypeA, 100, false))
-	ag.Observe(mkSample(1, 1, "a.test", dnswire.TypeA, 100, false))
+	ag := NewAggregator(nil, nil)
+	ag.Observe(mkSample(ag.Table, 1, 0, "a.test", dnswire.TypeA, 100, false))
+	ag.Observe(mkSample(ag.Table, 1, 1, "a.test", dnswire.TypeA, 100, false))
 	if len(ag.Clients) != 2 {
 		t.Errorf("pairs = %d, want 2 (separate days)", len(ag.Clients))
 	}
 }
 
 func TestSelector1RanksBySize(t *testing.T) {
-	ag := NewAggregator(nil)
-	ag.Observe(mkSample(1, 0, "big.test", dnswire.TypeANY, 9000, true))
-	ag.Observe(mkSample(2, 0, "mid.test", dnswire.TypeANY, 5000, true))
-	ag.Observe(mkSample(3, 0, "small.test", dnswire.TypeA, 200, true))
+	ag := NewAggregator(nil, nil)
+	ag.Observe(mkSample(ag.Table, 1, 0, "big.test", dnswire.TypeANY, 9000, true))
+	ag.Observe(mkSample(ag.Table, 2, 0, "mid.test", dnswire.TypeANY, 5000, true))
+	ag.Observe(mkSample(ag.Table, 3, 0, "small.test", dnswire.TypeA, 200, true))
 	r := Selector1MaxSize(ag)
 	if r.Ranked[0] != "big.test." || r.Ranked[1] != "mid.test." {
 		t.Errorf("ranking = %v", r.Ranked)
@@ -83,12 +90,12 @@ func TestSelector1RanksBySize(t *testing.T) {
 }
 
 func TestSelector2RanksByANY(t *testing.T) {
-	ag := NewAggregator(nil)
+	ag := NewAggregator(nil, nil)
 	for i := 0; i < 5; i++ {
-		ag.Observe(mkSample(1, 0, "hot.test", dnswire.TypeANY, 100, false))
+		ag.Observe(mkSample(ag.Table, 1, 0, "hot.test", dnswire.TypeANY, 100, false))
 	}
-	ag.Observe(mkSample(2, 0, "cold.test", dnswire.TypeANY, 100, false))
-	ag.Observe(mkSample(3, 0, "never.test", dnswire.TypeA, 100, false))
+	ag.Observe(mkSample(ag.Table, 2, 0, "cold.test", dnswire.TypeANY, 100, false))
+	ag.Observe(mkSample(ag.Table, 3, 0, "never.test", dnswire.TypeA, 100, false))
 	r := Selector2ANYCount(ag)
 	if r.Ranked[0] != "hot.test." {
 		t.Errorf("ranking = %v", r.Ranked)
@@ -101,13 +108,13 @@ func TestSelector2RanksByANY(t *testing.T) {
 }
 
 func TestSelector3GroundTruth(t *testing.T) {
-	ag := NewAggregator([]string{"used.test."})
+	ag := NewAggregator(nil, []string{"used.test."})
 	// Victim 1 under attack on day 0 with "used.test".
 	for i := 0; i < 10; i++ {
-		ag.Observe(mkSample(1, 0, "used.test", dnswire.TypeANY, 3000, true))
+		ag.Observe(mkSample(ag.Table, 1, 0, "used.test", dnswire.TypeANY, 3000, true))
 	}
 	// Unrelated victim 2 traffic.
-	ag.Observe(mkSample(2, 0, "other.test", dnswire.TypeA, 100, false))
+	ag.Observe(mkSample(ag.Table, 2, 0, "other.test", dnswire.TypeA, 100, false))
 
 	gts := []GroundTruthAttack{
 		{Victim: [4]byte{11, 0, 0, 1}, Start: simclock.MeasurementStart, End: simclock.MeasurementStart.Add(2 * simclock.Hour)},
@@ -164,27 +171,27 @@ func TestGovShare(t *testing.T) {
 }
 
 func TestDetectThresholds(t *testing.T) {
-	ag := NewAggregator([]string{"bad.test."})
+	ag := NewAggregator(nil, []string{"bad.test."})
 	cands := map[string]bool{"bad.test.": true}
 
 	// Victim A: 20 packets, all misused -> detected.
 	for i := 0; i < 20; i++ {
-		ag.Observe(mkSample(1, 0, "bad.test", dnswire.TypeANY, 4000, true))
+		ag.Observe(mkSample(ag.Table, 1, 0, "bad.test", dnswire.TypeANY, 4000, true))
 	}
 	// Victim B: 20 packets, half misused (share 0.5) -> not detected.
 	for i := 0; i < 10; i++ {
-		ag.Observe(mkSample(2, 0, "bad.test", dnswire.TypeANY, 4000, true))
-		ag.Observe(mkSample(2, 0, "ok.test", dnswire.TypeA, 100, false))
+		ag.Observe(mkSample(ag.Table, 2, 0, "bad.test", dnswire.TypeANY, 4000, true))
+		ag.Observe(mkSample(ag.Table, 2, 0, "ok.test", dnswire.TypeA, 100, false))
 	}
 	// Victim C: 5 packets all misused -> below min packets.
 	for i := 0; i < 5; i++ {
-		ag.Observe(mkSample(3, 0, "bad.test", dnswire.TypeANY, 4000, true))
+		ag.Observe(mkSample(ag.Table, 3, 0, "bad.test", dnswire.TypeANY, 4000, true))
 	}
 	// Victim D: 19 misused + 1 benign (share 0.95) -> detected.
 	for i := 0; i < 19; i++ {
-		ag.Observe(mkSample(4, 0, "bad.test", dnswire.TypeANY, 4000, true))
+		ag.Observe(mkSample(ag.Table, 4, 0, "bad.test", dnswire.TypeANY, 4000, true))
 	}
-	ag.Observe(mkSample(4, 0, "ok.test", dnswire.TypeA, 100, false))
+	ag.Observe(mkSample(ag.Table, 4, 0, "ok.test", dnswire.TypeA, 100, false))
 
 	dets := Detect(ag, cands, DefaultThresholds())
 	if len(dets) != 2 {
@@ -203,11 +210,11 @@ func TestDetectThresholds(t *testing.T) {
 }
 
 func TestDetectDeterministicOrder(t *testing.T) {
-	ag := NewAggregator([]string{"bad.test."})
+	ag := NewAggregator(nil, []string{"bad.test."})
 	cands := map[string]bool{"bad.test.": true}
 	for _, c := range []byte{9, 3, 7} {
 		for i := 0; i < 12; i++ {
-			ag.Observe(mkSample(c, 0, "bad.test", dnswire.TypeANY, 4000, true))
+			ag.Observe(mkSample(ag.Table, c, 0, "bad.test", dnswire.TypeANY, 4000, true))
 		}
 	}
 	d1 := Detect(ag, cands, DefaultThresholds())
@@ -223,18 +230,19 @@ func TestDetectDeterministicOrder(t *testing.T) {
 }
 
 func TestCollector(t *testing.T) {
-	ag := NewAggregator([]string{"bad.test."})
+	tab := names.NewTable()
+	ag := NewAggregator(tab, []string{"bad.test."})
 	cands := map[string]bool{"bad.test.": true}
 	var samples []*ixp.DNSSample
 	for i := 0; i < 15; i++ {
-		s := mkSample(1, 0, "bad.test", dnswire.TypeANY, 4000, true)
+		s := mkSample(tab, 1, 0, "bad.test", dnswire.TypeANY, 4000, true)
 		s.TXID = uint16(i % 3)
 		s.VisibleNS = 1
 		samples = append(samples, s)
 	}
 	// Requests with ingress annotation.
 	for i := 0; i < 5; i++ {
-		s := mkSample(1, 0, "bad.test", dnswire.TypeANY, 40, false)
+		s := mkSample(tab, 1, 0, "bad.test", dnswire.TypeANY, 40, false)
 		s.PeerAS = 777
 		s.IPTTL = 250
 		samples = append(samples, s)
@@ -246,11 +254,11 @@ func TestCollector(t *testing.T) {
 	if len(dets) != 1 {
 		t.Fatalf("detections = %d", len(dets))
 	}
-	col := NewCollector(dets, cands)
+	col := NewCollector(tab, dets, cands)
 	for _, s := range samples {
 		col.Observe(s)
 	}
-	col.Observe(mkSample(99, 0, "bad.test", dnswire.TypeANY, 4000, true)) // not wanted
+	col.Observe(mkSample(tab, 99, 0, "bad.test", dnswire.TypeANY, 4000, true)) // not wanted
 	col.SetVictimASN(func([4]byte) uint32 { return 42 })
 	recs := col.Records()
 	if len(recs) != 1 {
@@ -278,6 +286,9 @@ func TestCollector(t *testing.T) {
 	if r.DominantName() != "bad.test." {
 		t.Errorf("dominant = %q", r.DominantName())
 	}
+	if r.Names["bad.test."] != 20 {
+		t.Errorf("name counts = %v", r.Names)
+	}
 	if len(col.VisibleNS) != 15 {
 		t.Errorf("visibleNS = %d", len(col.VisibleNS))
 	}
@@ -287,10 +298,10 @@ func TestCollector(t *testing.T) {
 }
 
 func TestValidateDetection(t *testing.T) {
-	ag := NewAggregator([]string{"bad.test."})
+	ag := NewAggregator(nil, []string{"bad.test."})
 	cands := map[string]bool{"bad.test.": true}
 	for i := 0; i < 20; i++ {
-		ag.Observe(mkSample(1, 0, "bad.test", dnswire.TypeANY, 4000, true))
+		ag.Observe(mkSample(ag.Table, 1, 0, "bad.test", dnswire.TypeANY, 4000, true))
 	}
 	gt := []GroundTruthAttack{{
 		Victim: [4]byte{11, 0, 0, 1},
@@ -309,13 +320,13 @@ func TestValidateDetection(t *testing.T) {
 }
 
 func TestVisibilityCurveMonotone(t *testing.T) {
-	ag := NewAggregator([]string{"bad.test."})
+	ag := NewAggregator(nil, []string{"bad.test."})
 	cands := map[string]bool{"bad.test.": true}
 	var gts []GroundTruthAttack
 	for c := byte(1); c <= 20; c++ {
 		n := int(c)
 		for i := 0; i < n; i++ {
-			ag.Observe(mkSample(c, 0, "bad.test", dnswire.TypeANY, 4000, true))
+			ag.Observe(mkSample(ag.Table, c, 0, "bad.test", dnswire.TypeANY, 4000, true))
 		}
 		gts = append(gts, GroundTruthAttack{
 			Victim: [4]byte{11, 0, 0, c},
@@ -346,7 +357,7 @@ func TestMonitorRollsDays(t *testing.T) {
 	t0 := simclock.MeasurementStart
 	for day := 0; day < 3; day++ {
 		for i := 0; i < 50; i++ {
-			s := mkSample(1, day, "bad.test", dnswire.TypeANY, 5000, true)
+			s := mkSample(m.Table(), 1, day, "bad.test", dnswire.TypeANY, 5000, true)
 			s.Time = t0.Add(simclock.Days(day)).Add(simclock.Duration(i) * 10 * simclock.Minute)
 			m.Observe(s)
 		}
@@ -387,10 +398,11 @@ func TestDetectionDuration(t *testing.T) {
 }
 
 func ExampleDetect() {
-	ag := NewAggregator([]string{"doj.gov."})
+	ag := NewAggregator(nil, []string{"doj.gov."})
+	id, _ := ag.Table.Lookup("doj.gov.")
 	for i := 0; i < 12; i++ {
 		s := &ixp.DNSSample{
-			Time: simclock.MeasurementStart, QName: "doj.gov.",
+			Time: simclock.MeasurementStart, Name: id, QName: "doj.gov.",
 			QType: dnswire.TypeANY, MsgSize: 4000, IsResponse: true,
 			Dst: [4]byte{11, 0, 0, 1}, Src: [4]byte{203, 0, 113, 1},
 		}

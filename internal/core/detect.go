@@ -1,10 +1,11 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"dnsamp/internal/dnswire"
 	"dnsamp/internal/ixp"
+	"dnsamp/internal/names"
 	"dnsamp/internal/simclock"
 )
 
@@ -37,11 +38,14 @@ type Detection struct {
 // Duration is the observed attack span.
 func (d *Detection) Duration() simclock.Duration { return d.Last.Sub(d.First) }
 
-// Detect applies the thresholds to pass-1 aggregates.
+// Detect applies the thresholds to pass-1 aggregates. The candidate set
+// is resolved into the aggregator's ID space once; the per-client sweep
+// then runs entirely on IDs.
 func Detect(ag *Aggregator, candidates map[string]bool, th Thresholds) []*Detection {
+	cs := ag.CandidateSet(candidates)
 	var out []*Detection
 	for key, ca := range ag.Clients {
-		share, cand := ca.ShareOf(candidates)
+		share, cand := ca.ShareOf(cs)
 		if cand == 0 {
 			continue
 		}
@@ -54,22 +58,22 @@ func Detect(ag *Aggregator, candidates map[string]bool, th Thresholds) []*Detect
 			First: ca.First, Last: ca.Last,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Day != out[j].Day {
-			return out[i].Day < out[j].Day
+	slices.SortFunc(out, func(a, b *Detection) int {
+		if a.Day != b.Day {
+			return a.Day - b.Day
 		}
-		return lessAddr(out[i].Victim, out[j].Victim)
+		return cmpAddr(a.Victim, b.Victim)
 	})
 	return out
 }
 
-func lessAddr(a, b [4]byte) bool {
+func cmpAddr(a, b [4]byte) int {
 	for i := range a {
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			return int(a[i]) - int(b[i])
 		}
 	}
-	return false
+	return 0
 }
 
 // AttackRecord carries the per-attack details collected in pass 2 for
@@ -84,8 +88,14 @@ type AttackRecord struct {
 	Requests  int
 	Responses int
 
-	// Names counts packets per misused name.
+	// Names counts packets per misused name. It is materialized from
+	// the collector's candidate-indexed counters when Records() is
+	// called (the report boundary).
 	Names map[string]int
+	// nameCounts is the hot-path form: packets per candidate index (the
+	// collector's sorted candidate list).
+	nameCounts []int
+
 	// ANYPackets counts type-ANY packets.
 	ANYPackets int
 
@@ -122,23 +132,55 @@ func (r *AttackRecord) DominantName() string {
 func (r *AttackRecord) Duration() simclock.Duration { return r.Last.Sub(r.First) }
 
 // Collector is the pass-2 stage: given the detected (victim, day) pairs,
-// it extracts per-attack details from a second streaming pass.
+// it extracts per-attack details from a second streaming pass. It
+// operates on name IDs of its table; candidate names become strings
+// again only in Records().
 type Collector struct {
-	candidates map[string]bool
-	wanted     map[ClientDay]*AttackRecord
+	tab *names.Table
+	// candNames is the sorted candidate list; per-record name counts
+	// are indexed by position in it.
+	candNames []string
+	// candIdx maps a table name ID to its candidate index. Candidates
+	// are few (tens), so a small map beats a table-sized dense column.
+	candIdx map[uint32]int32
+	wanted  map[ClientDay]*AttackRecord
 	// VisibleNS records the decodable NS-record count of every attack
 	// response sample (the NXNS check of §4.2).
 	VisibleNS []int
 }
 
-// NewCollector prepares pass 2 for the given detections.
-func NewCollector(dets []*Detection, candidates map[string]bool) *Collector {
-	c := &Collector{candidates: candidates, wanted: make(map[ClientDay]*AttackRecord, len(dets))}
+// NewCollector prepares pass 2 for the given detections over the given
+// interning table (a fresh table when nil). The capture point feeding
+// the collector must share the table. Collectors built from the same
+// candidate set are mergeable regardless of their tables.
+func NewCollector(tab *names.Table, dets []*Detection, candidates map[string]bool) *Collector {
+	if tab == nil {
+		tab = names.NewTable()
+	}
+	c := &Collector{tab: tab, wanted: make(map[ClientDay]*AttackRecord, len(dets))}
+	for n := range candidates {
+		if candidates[n] {
+			c.candNames = append(c.candNames, dnswire.CanonicalName(n))
+		}
+	}
+	slices.Sort(c.candNames)
+	c.candNames = slices.Compact(c.candNames)
+	c.candIdx = make(map[uint32]int32, len(c.candNames))
+	for i, n := range c.candNames {
+		// Lookup first so shared (frozen) tables are never written from
+		// concurrent collector construction; interning only happens on
+		// a collector-owned table that has not met the name yet.
+		id, ok := tab.Lookup(n)
+		if !ok {
+			id = tab.Intern(n)
+		}
+		c.candIdx[id] = int32(i)
+	}
 	for _, d := range dets {
 		c.wanted[ClientDay{Client: d.Victim, Day: d.Day}] = &AttackRecord{
 			Victim: d.Victim, Day: d.Day,
 			First: d.First, Last: d.Last,
-			Names:      make(map[string]int),
+			nameCounts: make([]int, len(c.candNames)),
 			TXIDs:      make(map[uint16]int),
 			Amplifiers: make(map[[4]byte]int),
 			ReqIngress: make(map[uint32]int),
@@ -148,14 +190,22 @@ func NewCollector(dets []*Detection, candidates map[string]bool) *Collector {
 	return c
 }
 
+// Table exposes the collector's interning table, for wiring up the
+// capture point that feeds it.
+func (c *Collector) Table() *names.Table { return c.tab }
+
 // Observe ingests one sample during pass 2.
 func (c *Collector) Observe(s *ixp.DNSSample) {
 	rec := c.wanted[ClientDay{Client: s.ClientAddr(), Day: s.Time.Day()}]
-	if rec == nil || !c.candidates[s.QName] {
+	if rec == nil {
+		return
+	}
+	ci, ok := c.candIdx[s.Name]
+	if !ok {
 		return
 	}
 	rec.Packets++
-	rec.Names[s.QName]++
+	rec.nameCounts[ci]++
 	rec.TXIDs[s.TXID]++
 	if s.QType == dnswire.TypeANY {
 		rec.ANYPackets++
@@ -180,14 +230,15 @@ func (c *Collector) Observe(s *ixp.DNSSample) {
 
 // merge folds another partial record for the same (victim, day) into r.
 // Sizes are appended in call order, so merging partials in day order
-// reproduces a serial pass's observation order.
+// reproduces a serial pass's observation order. Both records must come
+// from collectors over the same candidate set.
 func (r *AttackRecord) merge(o *AttackRecord) {
 	r.Packets += o.Packets
 	r.Requests += o.Requests
 	r.Responses += o.Responses
 	r.ANYPackets += o.ANYPackets
-	for n, c := range o.Names {
-		r.Names[n] += c
+	for i, c := range o.nameCounts {
+		r.nameCounts[i] += c
 	}
 	for id, c := range o.TXIDs {
 		r.TXIDs[id] += c
@@ -214,8 +265,8 @@ func (r *AttackRecord) merge(o *AttackRecord) {
 // in both are combined key-wise; VisibleNS (and per-record sizes) are
 // appended in call order, so merging per-day partial collectors in day
 // order yields exactly the state of one collector observing the full
-// stream serially. Both collectors must share the candidate set. The
-// other collector must not be used afterwards.
+// stream serially. Both collectors must share the candidate set (their
+// tables may differ). The other collector must not be used afterwards.
 func (c *Collector) Merge(o *Collector) {
 	for key, orec := range o.wanted {
 		rec := c.wanted[key]
@@ -235,17 +286,26 @@ func (c *Collector) SetVictimASN(lookup func([4]byte) uint32) {
 	}
 }
 
-// Records returns the collected attack records, sorted by (day, victim).
+// Records returns the collected attack records, sorted by (day, victim),
+// with per-name packet counts materialized as name strings.
 func (c *Collector) Records() []*AttackRecord {
 	out := make([]*AttackRecord, 0, len(c.wanted))
 	for _, r := range c.wanted {
+		if r.Names == nil {
+			r.Names = make(map[string]int)
+			for i, n := range r.nameCounts {
+				if n > 0 {
+					r.Names[c.candNames[i]] = n
+				}
+			}
+		}
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Day != out[j].Day {
-			return out[i].Day < out[j].Day
+	slices.SortFunc(out, func(a, b *AttackRecord) int {
+		if a.Day != b.Day {
+			return a.Day - b.Day
 		}
-		return lessAddr(out[i].Victim, out[j].Victim)
+		return cmpAddr(a.Victim, b.Victim)
 	})
 	return out
 }
@@ -257,6 +317,7 @@ func ValidateDetection(ag *Aggregator, visible []GroundTruthAttack, candidates m
 	if len(visible) == 0 {
 		return 0
 	}
+	cs := ag.CandidateSet(candidates)
 	// Only ground-truth attacks that remain visible under the minimum
 	// packet threshold can possibly be detected; the paper reports the
 	// detection rate over visible attacks.
@@ -275,7 +336,7 @@ func ValidateDetection(ag *Aggregator, visible []GroundTruthAttack, candidates m
 			if ca.Total >= th.MinPackets {
 				vis = true
 			}
-			share, cand := ca.ShareOf(candidates)
+			share, cand := ca.ShareOf(cs)
 			if cand > 0 && ca.Total >= th.MinPackets && share >= th.MinShare {
 				hit = true
 			}

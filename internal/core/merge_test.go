@@ -6,14 +6,18 @@ import (
 
 	"dnsamp/internal/dnswire"
 	"dnsamp/internal/ixp"
+	"dnsamp/internal/names"
 	"dnsamp/internal/simclock"
 )
 
-// mergeSample builds a minimal sanitized sample for merge tests.
-func mergeSample(client byte, name string, qtype dnswire.Type, size int, t simclock.Time, response bool) *ixp.DNSSample {
+// mergeSample builds a minimal sanitized sample for merge tests,
+// interned in tab.
+func mergeSample(tab *names.Table, client byte, name string, qtype dnswire.Type, size int, t simclock.Time, response bool) *ixp.DNSSample {
+	id := tab.Intern(name)
 	s := &ixp.DNSSample{
 		Time:       t,
-		QName:      name,
+		Name:       id,
+		QName:      tab.Name(id),
 		QType:      qtype,
 		MsgSize:    size,
 		IsResponse: response,
@@ -33,18 +37,23 @@ func day0(offset simclock.Duration) simclock.Time {
 }
 
 func TestMergeEmpty(t *testing.T) {
-	a := NewAggregator(mergeTrack)
-	a.Observe(mergeSample(1, "evil.example.", dnswire.TypeANY, 900, day0(10), true))
-	want := NewAggregator(mergeTrack)
-	want.Observe(mergeSample(1, "evil.example.", dnswire.TypeANY, 900, day0(10), true))
+	a := NewAggregator(nil, mergeTrack)
+	a.Observe(mergeSample(a.Table, 1, "evil.example.", dnswire.TypeANY, 900, day0(10), true))
+	want := NewAggregator(nil, mergeTrack)
+	want.Observe(mergeSample(want.Table, 1, "evil.example.", dnswire.TypeANY, 900, day0(10), true))
 
 	// Merging an empty shard (either direction) must not change state.
-	a.Merge(NewAggregator(mergeTrack))
+	a.Merge(NewAggregator(nil, mergeTrack))
+	a.Canonicalize()
+	want.Canonicalize()
 	if !reflect.DeepEqual(a, want) {
 		t.Error("merging an empty aggregator changed state")
 	}
-	empty := NewAggregator(mergeTrack)
-	empty.Merge(a)
+	empty := NewAggregator(nil, mergeTrack)
+	full := NewAggregator(nil, mergeTrack)
+	full.Observe(mergeSample(full.Table, 1, "evil.example.", dnswire.TypeANY, 900, day0(10), true))
+	empty.Merge(full)
+	empty.Canonicalize()
 	if !reflect.DeepEqual(empty, want) {
 		t.Error("merging into an empty aggregator lost state")
 	}
@@ -56,22 +65,22 @@ func TestMergeEmpty(t *testing.T) {
 
 func TestMergeDisjoint(t *testing.T) {
 	// Shards covering different clients and names must union cleanly.
-	a := NewAggregator(mergeTrack)
-	a.Observe(mergeSample(1, "evil.example.", dnswire.TypeANY, 900, day0(10), true))
-	b := NewAggregator(mergeTrack)
-	b.Observe(mergeSample(2, "benign.example.", dnswire.TypeA, 80, day0(20), false))
+	a := NewAggregator(nil, mergeTrack)
+	a.Observe(mergeSample(a.Table, 1, "evil.example.", dnswire.TypeANY, 900, day0(10), true))
+	b := NewAggregator(nil, mergeTrack)
+	b.Observe(mergeSample(b.Table, 2, "benign.example.", dnswire.TypeA, 80, day0(20), false))
 
 	a.Merge(b)
 	if a.Samples != 2 || a.Requests != 1 || a.TotalBytes != 980 {
 		t.Fatalf("global counters: samples=%d requests=%d bytes=%d", a.Samples, a.Requests, a.TotalBytes)
 	}
-	if len(a.Names) != 2 || len(a.Clients) != 2 {
-		t.Fatalf("names=%d clients=%d, want 2 and 2", len(a.Names), len(a.Clients))
+	if a.NumNames() != 2 || len(a.Clients) != 2 {
+		t.Fatalf("names=%d clients=%d, want 2 and 2", a.NumNames(), len(a.Clients))
 	}
-	if ns := a.Names["evil.example."]; ns.MaxSize != 900 || ns.ANYPackets != 1 {
+	if ns := a.NameStatsOf("evil.example."); ns.MaxSize != 900 || ns.ANYPackets != 1 {
 		t.Errorf("evil stats: %+v", ns)
 	}
-	if ns := a.Names["benign.example."]; ns.MaxSize != 0 || ns.Packets != 1 {
+	if ns := a.NameStatsOf("benign.example."); ns.MaxSize != 0 || ns.Packets != 1 {
 		t.Errorf("benign stats: %+v", ns)
 	}
 }
@@ -79,24 +88,29 @@ func TestMergeDisjoint(t *testing.T) {
 func TestMergeOverlapping(t *testing.T) {
 	// Two shards observing the same client and name: sums, maxima, and
 	// time bounds must match one aggregator observing everything.
-	samples := []*ixp.DNSSample{
-		mergeSample(1, "evil.example.", dnswire.TypeANY, 900, day0(100), true),
-		mergeSample(1, "evil.example.", dnswire.TypeANY, 1400, day0(50), true),
-		mergeSample(1, ".", dnswire.TypeNS, 120, day0(300), false),
-		mergeSample(1, "evil.example.", dnswire.TypeANY, 700, day0(200), true),
-	}
-	a := NewAggregator(mergeTrack)
-	b := NewAggregator(mergeTrack)
-	want := NewAggregator(mergeTrack)
-	for i, s := range samples {
-		if i%2 == 0 {
-			a.Observe(s)
-		} else {
-			b.Observe(s)
+	mk := func(tab *names.Table) []*ixp.DNSSample {
+		return []*ixp.DNSSample{
+			mergeSample(tab, 1, "evil.example.", dnswire.TypeANY, 900, day0(100), true),
+			mergeSample(tab, 1, "evil.example.", dnswire.TypeANY, 1400, day0(50), true),
+			mergeSample(tab, 1, ".", dnswire.TypeNS, 120, day0(300), false),
+			mergeSample(tab, 1, "evil.example.", dnswire.TypeANY, 700, day0(200), true),
 		}
-		want.Observe(s)
+	}
+	a := NewAggregator(nil, mergeTrack)
+	b := NewAggregator(nil, mergeTrack)
+	want := NewAggregator(nil, mergeTrack)
+	sa, sb, sw := mk(a.Table), mk(b.Table), mk(want.Table)
+	for i := range sw {
+		if i%2 == 0 {
+			a.Observe(sa[i])
+		} else {
+			b.Observe(sb[i])
+		}
+		want.Observe(sw[i])
 	}
 	a.Merge(b)
+	a.Canonicalize()
+	want.Canonicalize()
 	if !reflect.DeepEqual(a, want) {
 		t.Error("merged shards differ from a single aggregator over the same samples")
 	}
@@ -104,8 +118,47 @@ func TestMergeOverlapping(t *testing.T) {
 	if ca == nil || ca.Total != 4 || ca.First != day0(50) || ca.Last != day0(300) {
 		t.Fatalf("client profile after merge: %+v", ca)
 	}
-	if got := ca.Tracked["evil.example."]; got != 3 {
+	id, _ := a.Table.Lookup("evil.example.")
+	if got := ca.TrackedCount(id); got != 3 {
 		t.Errorf("tracked count = %d, want 3", got)
+	}
+}
+
+// TestMergeCanonicalizeShardIndependence shards a sample stream with
+// names the shards discover in different orders: after Merge +
+// Canonicalize the aggregators must be byte-identical regardless of the
+// sharding (the interning analogue of the parallel pipeline's
+// serial/parallel equivalence).
+func TestMergeCanonicalizeShardIndependence(t *testing.T) {
+	type obs struct {
+		client byte
+		name   string
+	}
+	stream := []obs{
+		{1, "zz.example."}, {2, "aa.example."}, {1, "mm.example."},
+		{3, "aa.example."}, {2, "zz.example."}, {1, "evil.example."},
+		{4, "qq.example."}, {3, "mm.example."},
+	}
+	build := func(shards int) *Aggregator {
+		aggs := make([]*Aggregator, shards)
+		for i := range aggs {
+			aggs[i] = NewAggregator(nil, mergeTrack)
+		}
+		for i, o := range stream {
+			ag := aggs[i%shards]
+			ag.Observe(mergeSample(ag.Table, o.client, o.name, dnswire.TypeA, 100, day0(simclock.Duration(i)), false))
+		}
+		for _, other := range aggs[1:] {
+			aggs[0].Merge(other)
+		}
+		aggs[0].Canonicalize()
+		return aggs[0]
+	}
+	want := build(1)
+	for _, shards := range []int{2, 3} {
+		if got := build(shards); !reflect.DeepEqual(got, want) {
+			t.Errorf("%d shards: canonicalized aggregator differs", shards)
+		}
 	}
 }
 

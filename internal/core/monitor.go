@@ -2,6 +2,7 @@ package core
 
 import (
 	"dnsamp/internal/ixp"
+	"dnsamp/internal/names"
 	"dnsamp/internal/simclock"
 	"dnsamp/internal/stats"
 )
@@ -17,6 +18,7 @@ type Monitor struct {
 	// Interval is the update cadence (paper: at most 5 minutes delay).
 	Interval simclock.Duration
 
+	tab       *names.Table
 	agg       *Aggregator
 	lastFlush simclock.Time
 
@@ -52,26 +54,29 @@ type MonitorDay struct {
 	NameListJaccard float64
 }
 
-// NewMonitor creates a live monitor.
+// NewMonitor creates a live monitor. Samples observed must carry name
+// IDs of the monitor's interning table (Table), i.e. come from a
+// capture point constructed over it.
 func NewMonitor(n int, interval simclock.Duration, th Thresholds) *Monitor {
-	return &Monitor{
+	tab := names.NewTable()
+	m := &Monitor{
 		N:            n,
 		Interval:     interval,
 		th:           th,
-		agg:          NewAggregator(nil),
+		tab:          tab,
+		agg:          NewAggregator(tab, nil),
 		CurrentNames: make(map[string]bool),
 		dayOfData:    -1,
 	}
+	// The monitor tracks every name per client — affordable because it
+	// retains only one day of state.
+	m.agg.SetTrackAll(true)
+	return m
 }
 
-// trackAll makes the monitor's aggregator track every name per client —
-// affordable because the monitor retains only one day of state.
-func (m *Monitor) observeTracked(s *ixp.DNSSample) {
-	// The monitor tracks all names: swap the aggregator's tracked set
-	// lazily by treating every name as tracked.
-	m.agg.trackNames[s.QName] = true
-	m.agg.Observe(s)
-}
+// Table exposes the monitor's name-interning space, for wiring up the
+// capture point that feeds it.
+func (m *Monitor) Table() *names.Table { return m.tab }
 
 // Observe ingests one sample in arrival order.
 func (m *Monitor) Observe(s *ixp.DNSSample) {
@@ -82,7 +87,7 @@ func (m *Monitor) Observe(s *ixp.DNSSample) {
 	if s.Time.Day() != m.dayOfData {
 		m.rollDay(s.Time)
 	}
-	m.observeTracked(s)
+	m.agg.Observe(s)
 	if s.Time.Sub(m.lastFlush) >= m.Interval {
 		m.refreshNames(s.Time)
 		m.lastFlush = s.Time
@@ -123,9 +128,10 @@ func (m *Monitor) rollDay(now simclock.Time) {
 	}
 	m.days = append(m.days, md)
 
-	// Reset day state, keeping the current name list.
-	m.agg = NewAggregator(nil)
-	m.agg.trackNames = make(map[string]bool)
+	// Reset day state, keeping the current name list and the interning
+	// table (IDs stay stable across days).
+	m.agg = NewAggregator(m.tab, nil)
+	m.agg.SetTrackAll(true)
 	m.dayOfData = now.Day()
 }
 

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"slices"
+	"strings"
 
 	"dnsamp/internal/dnswire"
 	"dnsamp/internal/par"
@@ -40,28 +41,36 @@ func Selector2ANYCount(ag *Aggregator) SelectorResult {
 	return rankNames(ag, func(ns *NameStats) int { return ns.ANYPackets })
 }
 
-func rankNames(ag *Aggregator, score func(*NameStats) int) SelectorResult {
-	type nv struct {
-		name string
-		v    int
-	}
-	list := make([]nv, 0, len(ag.Names))
-	for n, ns := range ag.Names {
-		if s := score(ns); s > 0 {
-			list = append(list, nv{n, s})
+// nv is one (name, score) ranking entry; names are resolved from the
+// interning table before sorting (the ranking is a once-per-run report
+// boundary, not a hot path).
+type nv struct {
+	name string
+	v    int
+}
+
+func sortRanking(list []nv) []string {
+	slices.SortFunc(list, func(a, b nv) int {
+		if a.v != b.v {
+			return b.v - a.v
 		}
-	}
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].v != list[j].v {
-			return list[i].v > list[j].v
-		}
-		return list[i].name < list[j].name
+		return strings.Compare(a.name, b.name)
 	})
 	ranked := make([]string, len(list))
 	for i, e := range list {
 		ranked[i] = e.name
 	}
-	return SelectorResult{Ranked: ranked}
+	return ranked
+}
+
+func rankNames(ag *Aggregator, score func(*NameStats) int) SelectorResult {
+	list := make([]nv, 0, len(ag.names))
+	for id := range ag.names {
+		if s := score(&ag.names[id]); s > 0 {
+			list = append(list, nv{ag.Table.Name(uint32(id)), s})
+		}
+	}
+	return SelectorResult{Ranked: sortRanking(list)}
 }
 
 // GroundTruthAttack is a honeypot-reported attack (victim and time span)
@@ -87,7 +96,7 @@ func (g GroundTruthAttack) Days() []int {
 // any IXP DNS traffic was found ("we find DNS attack traffic for 16% of
 // all CCC DNS attack events").
 func Selector3GroundTruth(ag *Aggregator, attacks []GroundTruthAttack) (SelectorResult, []GroundTruthAttack) {
-	counts := make(map[string]int)
+	counts := make(map[uint32]int)
 	var visible []GroundTruthAttack
 	for _, gt := range attacks {
 		found := false
@@ -97,33 +106,19 @@ func Selector3GroundTruth(ag *Aggregator, attacks []GroundTruthAttack) (Selector
 				continue
 			}
 			found = true
-			for n, c := range ca.Tracked {
-				counts[n] += c
+			for _, tc := range ca.Tracked {
+				counts[tc.ID] += tc.N
 			}
 		}
 		if found {
 			visible = append(visible, gt)
 		}
 	}
-	type nv struct {
-		name string
-		v    int
-	}
 	list := make([]nv, 0, len(counts))
-	for n, v := range counts {
-		list = append(list, nv{n, v})
+	for id, v := range counts {
+		list = append(list, nv{ag.Table.Name(id), v})
 	}
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].v != list[j].v {
-			return list[i].v > list[j].v
-		}
-		return list[i].name < list[j].name
-	})
-	ranked := make([]string, len(list))
-	for i, e := range list {
-		ranked[i] = e.name
-	}
-	return SelectorResult{Ranked: ranked}, visible
+	return SelectorResult{Ranked: sortRanking(list)}, visible
 }
 
 // ConsensusPoint computes the selector-consensus curve (Fig. 3): the
@@ -192,7 +187,7 @@ func (nl *NameList) Sorted() []string {
 	for n := range nl.Names {
 		out = append(out, n)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

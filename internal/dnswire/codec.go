@@ -23,12 +23,11 @@ type Encoder struct {
 	offsets map[string]int
 }
 
-// Reset clears the encoder for reuse, keeping the buffer capacity.
+// Reset clears the encoder for reuse, keeping the buffer capacity and
+// the offsets map's buckets.
 func (e *Encoder) Reset() {
 	e.buf = e.buf[:0]
-	for k := range e.offsets {
-		delete(e.offsets, k)
-	}
+	clear(e.offsets)
 }
 
 // Encode serializes m and returns the wire bytes. The returned slice is

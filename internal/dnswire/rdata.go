@@ -4,7 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -261,7 +261,7 @@ func encodeTypeBitmap(types []Type) []byte {
 		return nil
 	}
 	sorted := append([]Type(nil), types...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	var out []byte
 	window := -1
 	var bitmap []byte
@@ -418,11 +418,30 @@ func ValidName(name string) bool {
 // CanonicalName lowercases and ensures a trailing dot, the canonical form
 // used as map keys throughout the pipeline.
 func CanonicalName(name string) string {
+	if isCanonical(name) {
+		return name
+	}
 	name = strings.ToLower(strings.TrimSuffix(name, "."))
 	if name == "" {
 		return "."
 	}
 	return name + "."
+}
+
+// isCanonical reports whether CanonicalName(name) == name, so the hot
+// path can skip the lowering/trimming allocation for names that are
+// already canonical (the overwhelmingly common case inside the
+// pipeline, where names come from interning tables).
+func isCanonical(name string) bool {
+	if len(name) == 0 || name[len(name)-1] != '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; c >= 'A' && c <= 'Z' {
+			return false
+		}
+	}
+	return true
 }
 
 // TLD returns the rightmost label of a canonical name, or "." for the

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"math/rand"
 	"net/netip"
+	"slices"
 	"sort"
 	"time"
 
@@ -250,7 +251,7 @@ func (p *Pool) AliveIDs(t simclock.Time) []int {
 			out = append(out, id)
 		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"net/netip"
+	"slices"
 	"sort"
 
 	"dnsamp/internal/dnswire"
@@ -535,7 +536,7 @@ func (c *Campaign) scheduleIndependent(attackers []*independentAttacker, total i
 				ns = 5 + c.rng.Intn(15)
 			}
 			perm := c.rng.Perm(len(c.Sensors))[:ns]
-			sort.Ints(perm)
+			slices.Sort(perm)
 			ev.Sensors = perm
 			ev.ReqPerSensor = clampInt(vol/10, 40, 8000)
 		}

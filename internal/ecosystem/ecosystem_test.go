@@ -289,8 +289,8 @@ func TestCampaignDeterminism(t *testing.T) {
 func TestGeneratorDeterminism(t *testing.T) {
 	c := tinyCampaign(t)
 	day := simclock.MeasurementStart.Add(simclock.Days(5))
-	d1 := NewGenerator(c, 7).Day(day)
-	d2 := NewGenerator(c, 7).Day(day)
+	d1 := NewGenerator(c, 7).WireDay(day)
+	d2 := NewGenerator(c, 7).WireDay(day)
 	if len(d1.IXP) != len(d2.IXP) {
 		t.Fatalf("IXP record counts differ: %d vs %d", len(d1.IXP), len(d2.IXP))
 	}
@@ -305,7 +305,7 @@ func TestGeneratedFramesDecode(t *testing.T) {
 	c := tinyCampaign(t)
 	g := NewGenerator(c, 7)
 	day := simclock.MeasurementStart.Add(simclock.Days(3))
-	dt := g.Day(day)
+	dt := g.WireDay(day)
 	if len(dt.IXP) == 0 {
 		t.Fatal("no IXP records")
 	}
@@ -345,7 +345,7 @@ func TestResponseSizeRecoverable(t *testing.T) {
 	g := NewGenerator(c, 7)
 	found := false
 	for d := 0; d < 20 && !found; d++ {
-		dt := g.Day(simclock.MeasurementStart.Add(simclock.Days(d)))
+		dt := g.WireDay(simclock.MeasurementStart.Add(simclock.Days(d)))
 		for _, tr := range dt.IXP {
 			pkt, err := netmodel.DecodeFrame(tr.Rec.Frame)
 			if err != nil {

@@ -3,7 +3,7 @@ package ecosystem
 import (
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"dnsamp/internal/simclock"
 	"dnsamp/internal/stats"
@@ -288,7 +288,7 @@ func (e *Entity) AdvanceTo(day simclock.Time) (list []int, newCount int) {
 			e.newToday++
 		}
 	}
-	sort.Ints(e.list)
+	slices.Sort(e.list)
 	return e.list, e.newToday
 }
 

@@ -3,9 +3,12 @@ package ecosystem
 import (
 	"math/rand"
 	"net/netip"
-	"sort"
+	"slices"
+	"sync/atomic"
 
 	"dnsamp/internal/dnswire"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/names"
 	"dnsamp/internal/netmodel"
 	"dnsamp/internal/sflow"
 	"dnsamp/internal/simclock"
@@ -15,7 +18,9 @@ import (
 
 // TaggedRecord is one sampled IXP frame plus the ingress-port metadata
 // the fabric knows (needed because spoofed packets cannot be attributed
-// by source address).
+// by source address). The frame-level path (WireDay) exists for wire
+// fidelity tests and pcap-style consumers; the detection pipeline
+// consumes the columnar batch form.
 type TaggedRecord struct {
 	Rec sflow.Record
 	// Ingress is the member ASN whose port the packet entered through;
@@ -72,8 +77,21 @@ func DefaultBackgroundConfig() BackgroundConfig {
 	}
 }
 
-// DayTraffic is everything one simulated day produces.
+// DayTraffic is everything one simulated day produces, with the sampled
+// IXP traffic in columnar batch form (name IDs into the generator's
+// frozen interning table — see Generator.Table).
 type DayTraffic struct {
+	Day simclock.Time
+	// Batch holds the sampled, sanitized IXP records (unordered within
+	// the day); nil when SkipIXP is set.
+	Batch *ixp.SampleBatch
+	// Sensors holds the honeypot-side flows.
+	Sensors []SensorFlow
+}
+
+// WireDayTraffic is the frame-level twin of DayTraffic: the same
+// sampled packets materialized as truncated Ethernet/IPv4/UDP frames.
+type WireDayTraffic struct {
 	Day simclock.Time
 	// IXP holds the sampled, truncated frames (unordered).
 	IXP []TaggedRecord
@@ -88,11 +106,18 @@ type DayTraffic struct {
 // stream, so materializing days out of order — or concurrently from
 // several goroutines — yields exactly the traffic of a sequential
 // day-by-day replay. All state shared across days (campaign, client
-// population, Zipf tables) is read-only after construction.
+// population, Zipf tables, the name-interning table) is read-only after
+// construction.
+//
+// Day (columnar batches) and WireDay (materialized frames) consume
+// their per-day RNG stream identically: for every day,
+// WireDay(d) processed through ixp.CapturePoint.Process yields exactly
+// the samples of Day(d) through ConsumeBatch. TestDayBatchMatchesWire
+// holds this equivalence.
 type Generator struct {
 	C          *Campaign
 	Background BackgroundConfig
-	// SkipIXP suppresses IXP frame materialization, producing only the
+	// SkipIXP suppresses IXP record materialization, producing only the
 	// honeypot-side sensor flows. Used by analyses that re-run the
 	// honeypot inference under different thresholds (Appendix B). Note
 	// that skipping changes per-day RNG consumption, so per-flow TXIDs
@@ -101,6 +126,26 @@ type Generator struct {
 
 	seed int64
 
+	// table is the frozen name-interning space: every name the
+	// generator can emit (root, explicit zones, procedural namespace,
+	// event names) is interned at construction, so day synthesis never
+	// writes to it and batches from concurrent Day calls share it.
+	table   *names.Table
+	rootID  uint32
+	procIDs []uint32 // procedural index -> table ID
+	misIDs  []uint32 // MisusedCandidates index -> table ID
+
+	// isExplicit flags table IDs backed by an explicit zone, replacing
+	// the per-packet zones-map lookup.
+	isExplicit []bool
+	// sizeCache memoizes the procedural response size per (qtype slot,
+	// name ID). Sizes of bulk names are pure functions of (name, qtype)
+	// but cost two SHA-256 hashes to derive; concurrent Day slices fill
+	// the cache racelessly with atomics (every writer stores the same
+	// deterministic value). Slot 0 is ANY; 0 means "not yet computed"
+	// (no response is 0 bytes).
+	sizeCache []sizeCacheCol
+
 	// bgClients is the background client population.
 	bgClients []netip.Addr
 	bgZipf    *stats.Zipf
@@ -108,16 +153,24 @@ type Generator struct {
 	servers   []netip.Addr
 }
 
+// Table exposes the generator's frozen interning table (read-only).
+func (g *Generator) Table() *names.Table { return g.table }
+
 // dayGen carries the mutable per-day state: the day's RNG stream, its
-// sampler, the wire encoder, and the response-template cache. One
-// dayGen lives for exactly one Day call, which is what makes Day safe
-// for concurrent use.
+// sampler, the wire encoder, the response-template cache, and the
+// emission target (columnar batch or wire frames). One dayGen lives for
+// exactly one Day/WireDay call, which is what makes both safe for
+// concurrent use.
 type dayGen struct {
 	*Generator
 	rng      *rand.Rand
 	sampler  *sflow.Sampler
 	enc      dnswire.Encoder
 	respTmpl map[tmplKey]*respTemplate
+
+	// Exactly one of batch/frames is non-nil in IXP-producing mode.
+	batch  *ixp.SampleBatch
+	frames *[]TaggedRecord
 }
 
 // daySeed mixes the generator seed with the day ordinal (splitmix64
@@ -149,9 +202,27 @@ type tmplKey struct {
 }
 
 type respTemplate struct {
+	nameID  uint32
 	prefix  []byte // first snaplen-42 bytes of the DNS payload
 	fullLen int    // full DNS message size
+	anCount uint16 // announced answer count (from the prefix header)
+	// meta caches, per parse-window length, what the capture point's
+	// tolerant parser recovers from the truncated prefix.
+	meta map[int]tmplMeta
 }
+
+type tmplMeta struct {
+	visibleNS uint16
+	drop      uint8 // dropKind; 0 when the window parses cleanly
+}
+
+// drop kinds, matching the capture point's sanitization counters.
+const (
+	dropNone = iota
+	dropNonUDP
+	dropNonDNS
+	dropMalformed
+)
 
 // NewGenerator builds a traffic generator. The background volume scales
 // with the campaign's Scale.
@@ -172,7 +243,7 @@ func NewGenerator(c *Campaign, seed int64) *Generator {
 	for asn := range c.Topo.ASes {
 		asns = append(asns, asn)
 	}
-	sortUint32(asns)
+	slices.Sort(asns)
 	for i := 0; i < g.Background.Clients; i++ {
 		asn := asns[rng.Intn(len(asns))]
 		addr, _ := c.Topo.RandomAddrIn(rng, asn)
@@ -185,32 +256,214 @@ func NewGenerator(c *Campaign, seed int64) *Generator {
 	}
 	g.bgZipf = stats.NewZipf(len(g.bgClients), 1.05)
 	g.nameZipf = stats.NewZipf(200_000, 1.0)
+
+	// Freeze the interning table over the full emittable namespace.
+	g.table = names.NewTable()
+	g.table.Reserve(g.nameZipf.N() + len(c.DB.ExplicitNames()) + len(c.Events) + 64)
+	g.rootID = g.table.Intern(".")
+	for _, n := range c.DB.ExplicitNames() {
+		g.table.Intern(dnswire.CanonicalName(n))
+	}
+	for _, ev := range c.Events {
+		g.table.Intern(dnswire.CanonicalName(ev.QName))
+	}
+	mis := c.DB.MisusedCandidates()
+	g.misIDs = make([]uint32, len(mis))
+	for i, n := range mis {
+		g.misIDs[i] = g.table.Intern(dnswire.CanonicalName(n))
+	}
+	// The background name Zipf spans a fixed 200k-rank namespace that
+	// may exceed the DB's procedural count, so freeze the union.
+	np := c.DB.NumProceduralNames()
+	if np < g.nameZipf.N() {
+		np = g.nameZipf.N()
+	}
+	g.procIDs = make([]uint32, np)
+	for i := 0; i < np; i++ {
+		g.procIDs[i] = g.table.Intern(c.DB.ProceduralName(i))
+	}
+
+	g.isExplicit = make([]bool, g.table.Len())
+	for id, name := range g.table.Names() {
+		if _, ok := c.DB.Zone(name); ok {
+			g.isExplicit[id] = true
+		}
+	}
+	g.sizeCache = make([]sizeCacheCol, len(qtypeSlots))
+	for i := range g.sizeCache {
+		g.sizeCache[i] = make(sizeCacheCol, g.table.Len())
+	}
 	return g
 }
 
-// Day materializes all traffic of one simulated day. Each day's output
-// depends only on (campaign, seed, day), so Day may be called from
-// multiple goroutines concurrently and in any day order.
+// sizeCacheCol is one qtype's response-size column, indexed by name ID.
+type sizeCacheCol []atomic.Int32
+
+// qtypeSlots maps the background query types to size-cache columns
+// (slot 0 is ANY).
+var qtypeSlots = []dnswire.Type{
+	dnswire.TypeANY, dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypePTR,
+	dnswire.TypeMX, dnswire.TypeTXT, dnswire.TypeNS, dnswire.TypeSOA,
+	dnswire.TypeSRV, dnswire.TypeDNSKEY,
+}
+
+func qtypeSlot(qtype dnswire.Type) int {
+	for i, t := range qtypeSlots {
+		if t == qtype {
+			return i
+		}
+	}
+	return -1
+}
+
+// responseSizeFor returns DB.ResponseSize(name, qtype, t), serving bulk
+// names from the per-ID cache (their sizes are time-independent pure
+// functions, but cost two SHA-256 hashes to derive).
+func (g *Generator) responseSizeFor(nameID uint32, name string, qtype dnswire.Type, t simclock.Time) int {
+	if g.isExplicit[nameID] {
+		return g.C.DB.ResponseSize(name, qtype, t)
+	}
+	slot := qtypeSlot(qtype)
+	if slot < 0 {
+		return g.C.DB.ResponseSize(name, qtype, t)
+	}
+	if v := g.sizeCache[slot][nameID].Load(); v != 0 {
+		return int(v)
+	}
+	v := g.C.DB.ResponseSize(name, qtype, t)
+	g.sizeCache[slot][nameID].Store(int32(v))
+	return v
+}
+
+// Day materializes all traffic of one simulated day in columnar batch
+// form. Each day's output depends only on (campaign, seed, day), so Day
+// may be called from multiple goroutines concurrently and in any day
+// order.
 func (g *Generator) Day(day simclock.Time) *DayTraffic {
 	day = day.StartOfDay()
 	dg := g.slice(day)
 	dt := &DayTraffic{Day: day}
+	if !g.SkipIXP {
+		dg.batch = &ixp.SampleBatch{Table: g.table}
+		if simclock.MainPeriod().Contains(day) {
+			dg.batch.Grow(g.Background.SamplesPerDay + 256)
+		}
+	}
 	for _, ev := range g.C.EventsOnDay(day) {
-		dg.attackTraffic(dt, ev)
+		dg.attackTraffic(&dt.Sensors, ev)
 	}
 	if !g.SkipIXP && simclock.MainPeriod().Contains(day) {
-		dg.backgroundTraffic(dt, day)
+		dg.backgroundTraffic(day)
+	}
+	dt.Batch = dg.batch
+	return dt
+}
+
+// WireDay materializes the same traffic as Day, as truncated wire
+// frames (the capture-fidelity path).
+func (g *Generator) WireDay(day simclock.Time) *WireDayTraffic {
+	day = day.StartOfDay()
+	dg := g.slice(day)
+	dt := &WireDayTraffic{Day: day}
+	if !g.SkipIXP {
+		dg.frames = &dt.IXP
+	}
+	for _, ev := range g.C.EventsOnDay(day) {
+		dg.attackTraffic(&dt.Sensors, ev)
+	}
+	if !g.SkipIXP && simclock.MainPeriod().Contains(day) {
+		dg.backgroundTraffic(day)
 	}
 	return dt
 }
 
-// attackTraffic materializes one event's sampled IXP frames and honeypot
-// flows.
-func (g *dayGen) attackTraffic(dt *DayTraffic, ev *AttackEvent) {
+// nameWireLen returns the uncompressed wire length of a canonical name
+// without allocating: one length octet per label (replacing each dot)
+// plus the terminating root octet.
+func nameWireLen(name string) int {
+	if name == "." {
+		return 1
+	}
+	return len(name) + 1
+}
+
+// querySize is the encoded size of dnswire.NewQuery(_, name, _, 4096):
+// header, one question, one OPT RR.
+func querySize(name string) int {
+	return dnswire.HeaderLen + nameWireLen(name) + 4 + 11
+}
+
+// bgResponseSize is the encoded size of the one-answer background
+// response skeleton: header, echoed question, and an A record whose
+// owner is a compression pointer to the question name (or the root's
+// single octet).
+func bgResponseSize(name string) int {
+	ans := 2 + 14 // pointer + fixed RR tail + 4-byte A rdata
+	if name == "." {
+		ans = 1 + 14
+	}
+	return dnswire.HeaderLen + nameWireLen(name) + 4 + ans
+}
+
+// frameWindow emulates the capture point's frame decoding for a frame
+// that materializes payloadLen bytes of a DNS message whose UDP length
+// field announces trueSize bytes: it returns the parser's input window
+// and the recovered message size, mirroring netmodel.DecodeFrame on the
+// 128-byte-truncated frame (including the uint16 wrap behaviour of the
+// length fields).
+func frameWindow(payloadLen, trueSize int) (parseLen, msgSize int, drop uint8) {
+	udpLen := uint16(netmodel.UDPHeaderLen + trueSize)
+	totalLen := uint16(netmodel.IPv4HeaderLen) + udpLen
+	if int(totalLen) < netmodel.IPv4HeaderLen {
+		return 0, 0, dropNonUDP
+	}
+	// UDP header + payload available after Ethernet/IP headers and the
+	// 128-byte truncation, clipped to the IP TotalLen.
+	avail := payloadLen + netmodel.UDPHeaderLen
+	if max := sflow.DefaultSnaplen - netmodel.EthernetHeaderLen - netmodel.IPv4HeaderLen; avail > max {
+		avail = max
+	}
+	if want := int(totalLen) - netmodel.IPv4HeaderLen; avail > want {
+		avail = want
+	}
+	if avail < netmodel.UDPHeaderLen || udpLen < netmodel.UDPHeaderLen {
+		return 0, 0, dropNonDNS
+	}
+	parseLen = avail - netmodel.UDPHeaderLen
+	if want := int(udpLen) - netmodel.UDPHeaderLen; parseLen > want {
+		parseLen = want
+	}
+	return parseLen, int(udpLen) - netmodel.UDPHeaderLen, dropNone
+}
+
+// emitSimple emits one query or one-answer background response, whose
+// parse outcome is fully determined by the question fitting the parse
+// window (such messages never carry NS records).
+func (g *dayGen) emitSimple(r ixp.BatchRecord, name string, payloadLen, trueSize int) {
+	g.batch.Frames++
+	parseLen, msgSize, drop := frameWindow(payloadLen, trueSize)
+	if drop == dropNone && parseLen < dnswire.HeaderLen+nameWireLen(name)+4 {
+		drop = dropNonDNS // header or first question unreadable
+	}
+	switch drop {
+	case dropNonUDP:
+		g.batch.NonUDP++
+		return
+	case dropNonDNS:
+		g.batch.NonDNS++
+		return
+	}
+	r.MsgSize = int32(msgSize)
+	g.batch.Append(r)
+}
+
+// attackTraffic materializes one event's sampled IXP records and
+// honeypot flows.
+func (g *dayGen) attackTraffic(sensors *[]SensorFlow, ev *AttackEvent) {
 	c := g.C
 	end := ev.End()
 	if g.SkipIXP {
-		g.sensorFlows(dt, ev)
+		g.sensorFlows(sensors, ev)
 		return
 	}
 
@@ -238,14 +491,15 @@ func (g *dayGen) attackTraffic(dt *DayTraffic, ev *AttackEvent) {
 		tmpl := g.responseTemplate(ev.QName, ev.Start)
 		for i := 0; i < k; i++ {
 			t := ev.Start.Add(simclock.Duration(g.rng.Int63n(int64(ev.Duration) + 1)))
-			frame := g.buildResponseFrame(amp, ev, tmpl, t, end)
-			dt.IXP = append(dt.IXP, TaggedRecord{Rec: g.sampler.Take(t, frame)})
+			g.emitAttackResponse(amp, ev, tmpl, t, end)
 		}
 	}
 
 	// Requests: attacker -> amplifiers, visible only when the back-end
 	// sits inside a member's cone (entity phases 1-2).
 	if ev.RequestsViaIXP {
+		evName := dnswire.CanonicalName(ev.QName)
+		evNameID, _ := g.table.Lookup(evName)
 		for _, id := range ev.Amplifiers {
 			amp := c.Pool.Get(id)
 			if c.Topo.MemberFor(amp.ASN) == ev.IngressAS {
@@ -254,19 +508,132 @@ func (g *dayGen) attackTraffic(dt *DayTraffic, ev *AttackEvent) {
 			k := g.sampler.ThinFlow(ev.ReqPerAmp)
 			for i := 0; i < k; i++ {
 				t := ev.Start.Add(simclock.Duration(g.rng.Int63n(int64(ev.Duration) + 1)))
-				frame := g.buildRequestFrame(amp, ev, t, end)
-				dt.IXP = append(dt.IXP, TaggedRecord{Rec: g.sampler.Take(t, frame), Ingress: ev.IngressAS})
+				g.emitAttackRequest(amp, ev, evName, evNameID, t, end)
 			}
 		}
 	}
 
-	g.sensorFlows(dt, ev)
+	g.sensorFlows(sensors, ev)
+}
+
+// emitAttackResponse draws and emits one amplifier->victim response,
+// applying the amplifier's EDNS cap.
+func (g *dayGen) emitAttackResponse(amp *Amplifier, ev *AttackEvent, tmpl *respTemplate, t, end simclock.Time) {
+	size := tmpl.fullLen
+	if amp.MinimalANY {
+		size = 60
+	} else if amp.EDNSCap > 0 && size > amp.EDNSCap {
+		size = amp.EDNSCap
+	}
+	txid := g.pickTXID(ev, t, end)
+	ipID := uint16(g.rng.Intn(1 << 16))
+	dstPort := uint16(1024 + g.rng.Intn(60000))
+
+	if g.frames != nil {
+		payload := tmpl.prefix
+		if len(payload) > size {
+			payload = payload[:size]
+		}
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		if len(buf) >= 2 {
+			buf[0], buf[1] = byte(txid>>8), byte(txid)
+		}
+		eth := netmodel.Ethernet{Src: macForAS(amp.ASN), Dst: macForAS(ev.VictimASN)}
+		ip := netmodel.IPv4{TTL: amp.ObservedTTL(), ID: ipID, Src: amp.Addr, Dst: ev.Victim}
+		udp := netmodel.UDP{
+			SrcPort: 53,
+			DstPort: dstPort,
+			Length:  uint16(netmodel.UDPHeaderLen + size),
+		}
+		frame := netmodel.EncodeUDPPacket(eth, ip, udp, buf)
+		*g.frames = append(*g.frames, TaggedRecord{Rec: g.sampler.Take(t, frame)})
+		return
+	}
+
+	payloadLen := len(tmpl.prefix)
+	if payloadLen > size {
+		payloadLen = size
+	}
+	g.batch.Frames++
+	parseLen, msgSize, drop := frameWindow(payloadLen, size)
+	var meta tmplMeta
+	if drop == dropNone {
+		meta = tmpl.metaFor(parseLen)
+		drop = meta.drop
+	}
+	switch drop {
+	case dropNonUDP:
+		g.batch.NonUDP++
+		return
+	case dropNonDNS:
+		g.batch.NonDNS++
+		return
+	case dropMalformed:
+		g.batch.Malformed++
+		return
+	}
+	g.batch.Append(ixp.BatchRecord{
+		Time:      t,
+		Src:       amp.Addr.As4(),
+		Dst:       ev.Victim.As4(),
+		SrcPort:   53,
+		DstPort:   dstPort,
+		IPTTL:     amp.ObservedTTL(),
+		IPID:      ipID,
+		Resp:      true,
+		Name:      tmpl.nameID,
+		QType:     dnswire.TypeANY,
+		TXID:      txid,
+		MsgSize:   int32(msgSize),
+		ANCount:   tmpl.anCount,
+		VisibleNS: meta.visibleNS,
+	})
+}
+
+// emitAttackRequest draws and emits one spoofed attacker->amplifier
+// query.
+func (g *dayGen) emitAttackRequest(amp *Amplifier, ev *AttackEvent, evName string, evNameID uint32, t, end simclock.Time) {
+	txid := g.pickTXID(ev, t, end)
+	ipID := uint16(g.rng.Intn(1 << 16))
+	srcPort := uint16(1024 + g.rng.Intn(60000))
+
+	if g.frames != nil {
+		q := dnswire.NewQuery(txid, ev.QName, ev.QType, 4096)
+		payload := g.enc.Encode(q)
+		eth := netmodel.Ethernet{Src: macForAS(ev.IngressAS), Dst: macForAS(amp.ASN)}
+		ip := netmodel.IPv4{
+			TTL: ev.ReqIPTTL,
+			ID:  ipID,
+			Src: ev.Victim, // spoofed
+			Dst: amp.Addr,
+		}
+		udp := netmodel.UDP{SrcPort: srcPort, DstPort: 53}
+		frame := netmodel.EncodeUDPPacket(eth, ip, udp, payload)
+		*g.frames = append(*g.frames, TaggedRecord{Rec: g.sampler.Take(t, frame), Ingress: ev.IngressAS})
+		return
+	}
+
+	qlen := querySize(evName)
+	g.emitSimple(ixp.BatchRecord{
+		Time:    t,
+		Src:     ev.Victim.As4(), // spoofed
+		Dst:     amp.Addr.As4(),
+		SrcPort: srcPort,
+		DstPort: 53,
+		IPTTL:   ev.ReqIPTTL,
+		IPID:    ipID,
+		Name:    evNameID,
+		QType:   ev.QType,
+		TXID:    txid,
+		Ingress: ev.IngressAS,
+	}, evName, qlen, qlen)
 }
 
 // sensorFlows emits the honeypot-side flows of one event.
-func (g *dayGen) sensorFlows(dt *DayTraffic, ev *AttackEvent) {
+func (g *dayGen) sensorFlows(sensors *[]SensorFlow, ev *AttackEvent) {
 	for _, sensor := range ev.Sensors {
-		dt.Sensors = append(dt.Sensors, SensorFlow{
+		*sensors = append(*sensors, SensorFlow{
 			Sensor:   sensor,
 			Victim:   ev.Victim,
 			Start:    ev.Start,
@@ -299,7 +666,7 @@ func (g *dayGen) pickTXID(ev *AttackEvent, t, end simclock.Time) uint16 {
 
 // responseTemplate returns (building if needed) the encoded ANY response
 // for a misused name on a given day, as an uncapped amplifier would emit
-// it; per-amplifier EDNS caps are applied at frame-build time.
+// it; per-amplifier EDNS caps are applied at emission time.
 func (g *dayGen) responseTemplate(name string, t simclock.Time) *respTemplate {
 	key := tmplKey{name, t.Day()}
 	tmpl, ok := g.respTmpl[key]
@@ -311,77 +678,69 @@ func (g *dayGen) responseTemplate(name string, t simclock.Time) *respTemplate {
 }
 
 func (g *dayGen) buildTemplate(name string, t simclock.Time) *respTemplate {
+	cn := dnswire.CanonicalName(name)
+	nameID, _ := g.table.Lookup(cn)
 	z, ok := g.C.DB.Zone(name)
+	var tmpl *respTemplate
 	if !ok {
 		// Procedural name: small synthetic answer.
 		q := dnswire.NewQuery(0, name, dnswire.TypeANY, 4096)
 		resp := dnswire.NewResponse(q)
 		wire := dnswire.Encode(resp)
-		return &respTemplate{prefix: clone(wire), fullLen: g.C.DB.ANYSize(name, t)}
+		tmpl = &respTemplate{nameID: nameID, prefix: clone(wire), fullLen: g.C.DB.ANYSize(name, t)}
+	} else {
+		q := dnswire.NewQuery(0, name, dnswire.TypeANY, 4096)
+		resp := z.BuildANYResponse(q, t)
+		wire := g.enc.Encode(resp)
+		pLen := sflow.DefaultSnaplen - netmodel.EthernetHeaderLen - netmodel.IPv4HeaderLen - netmodel.UDPHeaderLen
+		if pLen > len(wire) {
+			pLen = len(wire)
+		}
+		tmpl = &respTemplate{nameID: nameID, prefix: clone(wire[:pLen]), fullLen: len(wire)}
 	}
-	q := dnswire.NewQuery(0, name, dnswire.TypeANY, 4096)
-	resp := z.BuildANYResponse(q, t)
-	wire := g.enc.Encode(resp)
-	pLen := sflow.DefaultSnaplen - netmodel.EthernetHeaderLen - netmodel.IPv4HeaderLen - netmodel.UDPHeaderLen
-	if pLen > len(wire) {
-		pLen = len(wire)
+	if len(tmpl.prefix) >= dnswire.HeaderLen {
+		tmpl.anCount = uint16(tmpl.prefix[6])<<8 | uint16(tmpl.prefix[7])
 	}
-	return &respTemplate{prefix: clone(wire[:pLen]), fullLen: len(wire)}
+	tmpl.meta = make(map[int]tmplMeta, 4)
+	return tmpl
+}
+
+// metaFor reports what the capture point's tolerant parser would
+// recover from the first n prefix bytes, caching per window length (the
+// handful of distinct EDNS caps a template meets).
+func (tmpl *respTemplate) metaFor(n int) tmplMeta {
+	if n > len(tmpl.prefix) {
+		n = len(tmpl.prefix)
+	}
+	if m, ok := tmpl.meta[n]; ok {
+		return m
+	}
+	var m tmplMeta
+	res, err := dnswire.Parse(tmpl.prefix[:n])
+	switch {
+	case err != nil:
+		m.drop = dropNonDNS
+	case !dnswire.ValidName(res.Msg.QName()) || res.Msg.QType() == dnswire.TypeNone:
+		m.drop = dropMalformed
+	default:
+		ns := 0
+		for _, rr := range res.Msg.Answers {
+			if rr.Type == dnswire.TypeNS {
+				ns++
+			}
+		}
+		for _, rr := range res.Msg.Authority {
+			if rr.Type == dnswire.TypeNS {
+				ns++
+			}
+		}
+		m.visibleNS = uint16(ns)
+	}
+	tmpl.meta[n] = m
+	return m
 }
 
 func clone(b []byte) []byte { return append([]byte(nil), b...) }
-
-// buildResponseFrame assembles one amplifier->victim response frame,
-// applying the amplifier's EDNS cap and patching the transaction ID.
-func (g *dayGen) buildResponseFrame(amp *Amplifier, ev *AttackEvent, tmpl *respTemplate, t, end simclock.Time) []byte {
-	size := tmpl.fullLen
-	if amp.MinimalANY {
-		size = 60
-	} else if amp.EDNSCap > 0 && size > amp.EDNSCap {
-		size = amp.EDNSCap
-	}
-	payload := tmpl.prefix
-	if len(payload) > size {
-		payload = payload[:size]
-	}
-	buf := make([]byte, len(payload))
-	copy(buf, payload)
-	txid := g.pickTXID(ev, t, end)
-	if len(buf) >= 2 {
-		buf[0], buf[1] = byte(txid>>8), byte(txid)
-	}
-	eth := netmodel.Ethernet{Src: macForAS(amp.ASN), Dst: macForAS(ev.VictimASN)}
-	ip := netmodel.IPv4{
-		TTL: amp.ObservedTTL(),
-		ID:  uint16(g.rng.Intn(1 << 16)),
-		Src: amp.Addr,
-		Dst: ev.Victim,
-	}
-	udp := netmodel.UDP{
-		SrcPort: 53,
-		DstPort: uint16(1024 + g.rng.Intn(60000)),
-		Length:  uint16(netmodel.UDPHeaderLen + size),
-	}
-	return netmodel.EncodeUDPPacket(eth, ip, udp, buf)
-}
-
-// buildRequestFrame assembles one spoofed attacker->amplifier query.
-func (g *dayGen) buildRequestFrame(amp *Amplifier, ev *AttackEvent, t, end simclock.Time) []byte {
-	q := dnswire.NewQuery(g.pickTXID(ev, t, end), ev.QName, ev.QType, 4096)
-	payload := g.enc.Encode(q)
-	eth := netmodel.Ethernet{Src: macForAS(ev.IngressAS), Dst: macForAS(amp.ASN)}
-	ip := netmodel.IPv4{
-		TTL: ev.ReqIPTTL,
-		ID:  uint16(g.rng.Intn(1 << 16)),
-		Src: ev.Victim, // spoofed
-		Dst: amp.Addr,
-	}
-	udp := netmodel.UDP{
-		SrcPort: uint16(1024 + g.rng.Intn(60000)),
-		DstPort: 53,
-	}
-	return netmodel.EncodeUDPPacket(eth, ip, udp, payload)
-}
 
 // backgroundQTypes is the organic query-type mix (§3.1: A 57%, AAAA 13%).
 var backgroundQTypes = []struct {
@@ -400,7 +759,7 @@ var backgroundQTypes = []struct {
 }
 
 // backgroundTraffic synthesizes the day's organic sampled DNS packets.
-func (g *dayGen) backgroundTraffic(dt *DayTraffic, day simclock.Time) {
+func (g *dayGen) backgroundTraffic(day simclock.Time) {
 	// Weekly pattern: small dip on weekends (§3.1).
 	n := g.Background.SamplesPerDay
 	if wd := day.Std().Weekday(); wd == 0 || wd == 6 {
@@ -413,7 +772,7 @@ func (g *dayGen) backgroundTraffic(dt *DayTraffic, day simclock.Time) {
 		t := day.Add(simclock.Duration(g.rng.Int63n(int64(simclock.Day))))
 
 		// Name and type selection.
-		var name string
+		var nameID uint32
 		qtype := dnswire.TypeA
 		u := g.rng.Float64()
 		switch {
@@ -421,7 +780,7 @@ func (g *dayGen) backgroundTraffic(dt *DayTraffic, day simclock.Time) {
 			// Root priming and monitoring traffic: the root name is a
 			// misused name AND a common legitimate query (§4.2's low-
 			// share clients).
-			name = "."
+			nameID = g.rootID
 			if g.rng.Float64() < 0.05 {
 				qtype = dnswire.TypeANY
 			} else if g.rng.Float64() < 0.7 {
@@ -430,17 +789,17 @@ func (g *dayGen) backgroundTraffic(dt *DayTraffic, day simclock.Time) {
 		case u < g.Background.RootShare+g.Background.MisusedShare:
 			// Research scanners and monitoring probes against
 			// amplification-prone names — these often use ANY.
-			name = misused[g.rng.Intn(len(misused))]
+			nameID = g.misIDs[g.rng.Intn(len(misused))]
 			if g.rng.Float64() < 0.5 {
 				qtype = dnswire.TypeANY
 			}
 		case g.rng.Float64() < g.Background.ANYShare:
 			// Organic ANY (debugging tools): spread uniformly across
 			// the bulk namespace rather than by popularity.
-			name = g.C.DB.ProceduralName(g.rng.Intn(g.C.DB.NumProceduralNames()))
+			nameID = g.procIDs[g.rng.Intn(g.C.DB.NumProceduralNames())]
 			qtype = dnswire.TypeANY
 		default:
-			name = g.C.DB.ProceduralName(g.nameZipf.Draw(g.rng) - 1)
+			nameID = g.procIDs[g.nameZipf.Draw(g.rng)-1]
 			v := g.rng.Float64()
 			acc := 0.0
 			for _, tw := range backgroundQTypes {
@@ -451,63 +810,109 @@ func (g *dayGen) backgroundTraffic(dt *DayTraffic, day simclock.Time) {
 				}
 			}
 		}
+		name := g.table.Name(nameID)
 
-		isResponse := g.rng.Float64() < g.Background.ResponseShare
-		var frame []byte
-		if isResponse {
-			frame = g.buildBackgroundResponse(server, client, name, qtype, t)
+		if g.rng.Float64() < g.Background.ResponseShare {
+			g.emitBackgroundResponse(server, client, name, nameID, qtype, t)
 		} else {
-			frame = g.buildBackgroundQuery(client, server, name, qtype)
+			g.emitBackgroundQuery(client, server, name, nameID, qtype, t)
 		}
-		dt.IXP = append(dt.IXP, TaggedRecord{Rec: g.sampler.Take(t, frame)})
 	}
 }
 
-func (g *dayGen) buildBackgroundQuery(client, server netip.Addr, name string, qtype dnswire.Type) []byte {
-	q := dnswire.NewQuery(uint16(g.rng.Intn(1<<16)), name, qtype, 4096)
-	payload := g.enc.Encode(q)
-	eth := netmodel.Ethernet{}
-	ip := netmodel.IPv4{TTL: uint8(32 + g.rng.Intn(200)), ID: uint16(g.rng.Intn(1 << 16)), Src: client, Dst: server}
-	udp := netmodel.UDP{SrcPort: uint16(1024 + g.rng.Intn(60000)), DstPort: 53}
-	return netmodel.EncodeUDPPacket(eth, ip, udp, payload)
+// emitBackgroundQuery draws and emits one organic client->server query.
+func (g *dayGen) emitBackgroundQuery(client, server netip.Addr, name string, nameID uint32, qtype dnswire.Type, t simclock.Time) {
+	txid := uint16(g.rng.Intn(1 << 16))
+	ttl := uint8(32 + g.rng.Intn(200))
+	ipID := uint16(g.rng.Intn(1 << 16))
+	srcPort := uint16(1024 + g.rng.Intn(60000))
+
+	if g.frames != nil {
+		q := dnswire.NewQuery(txid, name, qtype, 4096)
+		payload := g.enc.Encode(q)
+		ip := netmodel.IPv4{TTL: ttl, ID: ipID, Src: client, Dst: server}
+		udp := netmodel.UDP{SrcPort: srcPort, DstPort: 53}
+		frame := netmodel.EncodeUDPPacket(netmodel.Ethernet{}, ip, udp, payload)
+		*g.frames = append(*g.frames, TaggedRecord{Rec: g.sampler.Take(t, frame)})
+		return
+	}
+
+	qlen := querySize(name)
+	g.emitSimple(ixp.BatchRecord{
+		Time:    t,
+		Src:     client.As4(),
+		Dst:     server.As4(),
+		SrcPort: srcPort,
+		DstPort: 53,
+		IPTTL:   ttl,
+		IPID:    ipID,
+		Name:    nameID,
+		QType:   qtype,
+		TXID:    txid,
+	}, name, qlen, qlen)
 }
 
-func (g *dayGen) buildBackgroundResponse(server, client netip.Addr, name string, qtype dnswire.Type, t simclock.Time) []byte {
-	size := g.C.DB.ResponseSize(name, qtype, t)
+// emitBackgroundResponse draws and emits one organic server->client
+// response.
+func (g *dayGen) emitBackgroundResponse(server, client netip.Addr, name string, nameID uint32, qtype dnswire.Type, t simclock.Time) {
+	size := g.responseSizeFor(nameID, name, qtype, t)
 	// Organic jitter: caches, case randomization, EDNS variations.
 	size += g.rng.Intn(24)
-	if _, explicit := g.C.DB.Zone(name); !explicit && size > 4096 {
+	if !g.isExplicit[nameID] && size > 4096 {
 		// Recursive resolvers answering organic queries for bulk names
 		// cap at the common EDNS buffer; only the misused-name zones
 		// (queried at their authoritatives or via uncapped resolvers)
 		// show larger answers in practice.
 		size = 4096
 	}
-	q := dnswire.NewQuery(uint16(g.rng.Intn(1<<16)), name, qtype, 4096)
-	resp := dnswire.NewResponse(q)
-	resp.Answers = append(resp.Answers, dnswire.RR{
-		Name: dnswire.CanonicalName(name), Type: dnswire.TypeA, Class: dnswire.ClassIN,
-		TTL: 300, Data: dnswire.AData{Addr: server},
-	})
-	payload := g.enc.Encode(resp)
-	if size < len(payload) {
-		size = len(payload)
+	txid := uint16(g.rng.Intn(1 << 16))
+	ttl := uint8(32 + g.rng.Intn(200))
+	ipID := uint16(g.rng.Intn(1 << 16))
+	dstPort := uint16(1024 + g.rng.Intn(60000))
+
+	if g.frames != nil {
+		q := dnswire.NewQuery(txid, name, qtype, 4096)
+		resp := dnswire.NewResponse(q)
+		resp.Answers = append(resp.Answers, dnswire.RR{
+			Name: dnswire.CanonicalName(name), Type: dnswire.TypeA, Class: dnswire.ClassIN,
+			TTL: 300, Data: dnswire.AData{Addr: server},
+		})
+		payload := g.enc.Encode(resp)
+		if size < len(payload) {
+			size = len(payload)
+		}
+		ip := netmodel.IPv4{TTL: ttl, ID: ipID, Src: server, Dst: client}
+		udp := netmodel.UDP{
+			SrcPort: 53,
+			DstPort: dstPort,
+			Length:  uint16(netmodel.UDPHeaderLen + size),
+		}
+		frame := netmodel.EncodeUDPPacket(netmodel.Ethernet{}, ip, udp, payload)
+		*g.frames = append(*g.frames, TaggedRecord{Rec: g.sampler.Take(t, frame)})
+		return
 	}
-	eth := netmodel.Ethernet{}
-	ip := netmodel.IPv4{TTL: uint8(32 + g.rng.Intn(200)), ID: uint16(g.rng.Intn(1 << 16)), Src: server, Dst: client}
-	udp := netmodel.UDP{
+
+	respLen := bgResponseSize(name)
+	if size < respLen {
+		size = respLen
+	}
+	g.emitSimple(ixp.BatchRecord{
+		Time:    t,
+		Src:     server.As4(),
+		Dst:     client.As4(),
 		SrcPort: 53,
-		DstPort: uint16(1024 + g.rng.Intn(60000)),
-		Length:  uint16(netmodel.UDPHeaderLen + size),
-	}
-	return netmodel.EncodeUDPPacket(eth, ip, udp, payload)
+		DstPort: dstPort,
+		IPTTL:   ttl,
+		IPID:    ipID,
+		Resp:    true,
+		Name:    nameID,
+		QType:   qtype,
+		TXID:    txid,
+		ANCount: 1,
+	}, name, respLen, size)
 }
 
 // macForAS derives a stable router MAC for a member/AS.
 func macForAS(asn uint32) netmodel.MAC {
 	return netmodel.MAC{0x02, 0x42, byte(asn >> 24), byte(asn >> 16), byte(asn >> 8), byte(asn)}
-}
-
-func sortUint32(xs []uint32) {
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
 }

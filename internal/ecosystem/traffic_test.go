@@ -91,8 +91,8 @@ func TestSkipIXPSensorsOnly(t *testing.T) {
 	day := simclock.MeasurementStart.Add(simclock.Days(5))
 	dtFull := full.Day(day)
 	dtSkip := skip.Day(day)
-	if len(dtSkip.IXP) != 0 {
-		t.Fatalf("SkipIXP produced %d IXP records", len(dtSkip.IXP))
+	if dtSkip.Batch != nil {
+		t.Fatalf("SkipIXP produced an IXP batch (%d records)", dtSkip.Batch.N)
 	}
 	if len(dtSkip.Sensors) != len(dtFull.Sensors) {
 		t.Fatalf("sensor flows %d vs %d — must be identical in count", len(dtSkip.Sensors), len(dtFull.Sensors))
@@ -112,11 +112,11 @@ func TestEntityRequestsTaggedWithIngress(t *testing.T) {
 	day := c.Entity.Reloc1.Add(simclock.Days(3))
 	dt := g.Day(day)
 	tagged := 0
-	for _, tr := range dt.IXP {
-		if tr.Ingress != 0 {
+	for _, in := range dt.Batch.Ingress {
+		if in != 0 {
 			tagged++
-			if tr.Ingress != c.Entity.Ingress1 {
-				t.Fatalf("ingress %d, want %d", tr.Ingress, c.Entity.Ingress1)
+			if in != c.Entity.Ingress1 {
+				t.Fatalf("ingress %d, want %d", in, c.Entity.Ingress1)
 			}
 		}
 	}
@@ -125,8 +125,8 @@ func TestEntityRequestsTaggedWithIngress(t *testing.T) {
 	}
 	// And a pre-relocation day must not.
 	dt0 := g.Day(simclock.MeasurementStart.Add(simclock.Days(2)))
-	for _, tr := range dt0.IXP {
-		if tr.Ingress != 0 {
+	for _, in := range dt0.Batch.Ingress {
+		if in != 0 {
 			t.Fatal("ingress tag before relocation 1")
 		}
 	}
@@ -140,9 +140,9 @@ func TestBackgroundOnlyInMainWindow(t *testing.T) {
 	// Post-window days carry only (entity) attack traffic, which is
 	// far sparser than a background day.
 	mainDay := NewGenerator(c, 7).Day(simclock.MeasurementStart.Add(simclock.Days(3)))
-	if len(dt.IXP) >= len(mainDay.IXP) {
+	if dt.Batch.N >= mainDay.Batch.N {
 		t.Errorf("extended-window day (%d records) should be sparser than main-window day (%d)",
-			len(dt.IXP), len(mainDay.IXP))
+			dt.Batch.N, mainDay.Batch.N)
 	}
 }
 

@@ -108,11 +108,12 @@ func (s *Suite) FutureWork() *Report {
 	// Faintly-visible attacks: truth pairs with >= 2 sampled candidate
 	// packets at the IXP.
 	faint := 0
+	cands := s.Study.AggMain.CandidateSet(s.Study.NameList.Names)
 	for key, ca := range s.Study.AggMain.Clients {
 		if !truth[key] {
 			continue
 		}
-		if _, cand := ca.ShareOf(s.Study.NameList.Names); cand >= 2 {
+		if _, cand := ca.ShareOf(cands); cand >= 2 {
 			faint++
 		}
 	}

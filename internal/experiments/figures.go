@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"dnsamp/internal/analysis"
@@ -32,7 +33,7 @@ func (s *Suite) Table2() *Report {
 	for c := range shares {
 		classes = append(classes, c)
 	}
-	sort.Strings(classes)
+	slices.Sort(classes)
 	for _, c := range classes {
 		r.addf("  %-12s %5.1f%%", c, 100*shares[c])
 	}
@@ -57,7 +58,7 @@ func (s *Suite) Figure3() *Report {
 // Figure4 reproduces the misused-name share vs packet-count bimodality.
 func (s *Suite) Figure4() *Report {
 	r := &Report{ID: "figure4", Title: "share of misused names per (client, day)"}
-	cands := s.Study.NameList.Names
+	cands := s.Study.AggMain.CandidateSet(s.Study.NameList.Names)
 	// Bucket by log10(packets); track share distribution per bucket.
 	type bucket struct{ lo, mid, hi, n int }
 	buckets := map[int]*bucket{}
@@ -87,7 +88,7 @@ func (s *Suite) Figure4() *Report {
 	for k := range buckets {
 		keys = append(keys, k)
 	}
-	sort.Ints(keys)
+	slices.Sort(keys)
 	for _, k := range keys {
 		b := buckets[k]
 		r.addf("10^%d..10^%d     %8d %7.1f%% %7.1f%% %7.1f%%", k, k+1, b.n,
@@ -202,7 +203,7 @@ func (s *Suite) Figure9() *Report {
 	for n := range ent.SizesByName {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, n := range names {
 		sizes := ent.SizesByName[n]
 		if len(sizes) < 10 {
@@ -495,7 +496,7 @@ func histString(h map[int]int) string {
 	for k := range h {
 		keys = append(keys, k)
 	}
-	sort.Ints(keys)
+	slices.Sort(keys)
 	var vals []float64
 	for _, k := range keys {
 		vals = append(vals, float64(h[k]))

@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"sort"
+	"slices"
 
 	"dnsamp/internal/analysis"
 )
@@ -42,7 +42,7 @@ func (s *Suite) Section6() *Report {
 	for p := range ent.RequestShareByPhase {
 		phases = append(phases, p)
 	}
-	sort.Ints(phases)
+	slices.Sort(phases)
 	for _, p := range phases {
 		r.addf("request share in phase %d: %.0f%%", p, 100*ent.RequestShareByPhase[p])
 	}

@@ -6,6 +6,7 @@ package honeypot
 
 import (
 	"net/netip"
+	"slices"
 	"sort"
 
 	"dnsamp/internal/dnswire"
@@ -114,7 +115,7 @@ func (p *Platform) Observe(f ecosystem.SensorFlow) {
 func (p *Platform) Finalize() []*Attack {
 	var out []*Attack
 	for victim, obs := range p.obs {
-		sort.Slice(obs, func(i, j int) bool { return obs[i].start < obs[j].start })
+		slices.SortFunc(obs, func(a, b *sensorObs) int { return int(a.start - b.start) })
 		var cur *Attack
 		for _, o := range obs {
 			if cur == nil || o.start.Sub(cur.End) > p.Cfg.MaxGap {

@@ -1,0 +1,200 @@
+package ixp
+
+import (
+	"net/netip"
+
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/names"
+	"dnsamp/internal/simclock"
+)
+
+// SampleBatch is one day of sampled DNS traffic in columnar
+// (struct-of-arrays) form: one slice per field, indexed 0..N-1, with
+// query names as IDs into Table. The traffic generator emits batches
+// instead of per-packet frame records, so the steady-state synthesis
+// and consumption loops allocate nothing per packet.
+//
+// Every record in a batch is already well-formed DNS-over-UDP: the
+// generator performs the wire-level sanitization (frame arithmetic,
+// truncation, parseability of the materialized prefix) at emission time
+// and accounts rejected packets in Frames/NonUDP/NonDNS, so a batch
+// replays through CapturePoint.ConsumeBatch exactly as its frame-level
+// twin would through Process.
+type SampleBatch struct {
+	// Table is the interning space of the Name column. It is typically
+	// the generator's frozen table, shared by every batch of a run.
+	Table *names.Table
+
+	// N is the record count; every column has length N.
+	N int
+
+	Time      []simclock.Time
+	Src, Dst  [][4]byte
+	SrcPort   []uint16
+	DstPort   []uint16
+	IPTTL     []uint8
+	IPID      []uint16
+	Resp      []bool
+	Name      []uint32
+	QType     []dnswire.Type
+	TXID      []uint16
+	MsgSize   []int32
+	ANCount   []uint16
+	VisibleNS []uint16
+	// Ingress is the member ASN whose port carried the packet, for
+	// spoofed packets that cannot be attributed by source address
+	// (0 = derive from the source address).
+	Ingress []uint32
+
+	// Frames counts the sampled frames behind this batch including
+	// packets the wire-level sanitization would have dropped; NonUDP,
+	// NonDNS and Malformed count those drops
+	// (N = Frames - NonUDP - NonDNS - Malformed).
+	Frames, NonUDP, NonDNS, Malformed int
+}
+
+// Grow preallocates all columns for n additional records.
+func (b *SampleBatch) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	want := b.N + n
+	if cap(b.Time) >= want {
+		return
+	}
+	grow := func() int { return want }
+	b.Time = append(make([]simclock.Time, 0, grow()), b.Time...)
+	b.Src = append(make([][4]byte, 0, grow()), b.Src...)
+	b.Dst = append(make([][4]byte, 0, grow()), b.Dst...)
+	b.SrcPort = append(make([]uint16, 0, grow()), b.SrcPort...)
+	b.DstPort = append(make([]uint16, 0, grow()), b.DstPort...)
+	b.IPTTL = append(make([]uint8, 0, grow()), b.IPTTL...)
+	b.IPID = append(make([]uint16, 0, grow()), b.IPID...)
+	b.Resp = append(make([]bool, 0, grow()), b.Resp...)
+	b.Name = append(make([]uint32, 0, grow()), b.Name...)
+	b.QType = append(make([]dnswire.Type, 0, grow()), b.QType...)
+	b.TXID = append(make([]uint16, 0, grow()), b.TXID...)
+	b.MsgSize = append(make([]int32, 0, grow()), b.MsgSize...)
+	b.ANCount = append(make([]uint16, 0, grow()), b.ANCount...)
+	b.VisibleNS = append(make([]uint16, 0, grow()), b.VisibleNS...)
+	b.Ingress = append(make([]uint32, 0, grow()), b.Ingress...)
+}
+
+// BatchRecord is the row view used to append one record to a batch.
+type BatchRecord struct {
+	Time      simclock.Time
+	Src, Dst  [4]byte
+	SrcPort   uint16
+	DstPort   uint16
+	IPTTL     uint8
+	IPID      uint16
+	Resp      bool
+	Name      uint32
+	QType     dnswire.Type
+	TXID      uint16
+	MsgSize   int32
+	ANCount   uint16
+	VisibleNS uint16
+	Ingress   uint32
+}
+
+// Append adds one record to the batch.
+func (b *SampleBatch) Append(r BatchRecord) {
+	b.Time = append(b.Time, r.Time)
+	b.Src = append(b.Src, r.Src)
+	b.Dst = append(b.Dst, r.Dst)
+	b.SrcPort = append(b.SrcPort, r.SrcPort)
+	b.DstPort = append(b.DstPort, r.DstPort)
+	b.IPTTL = append(b.IPTTL, r.IPTTL)
+	b.IPID = append(b.IPID, r.IPID)
+	b.Resp = append(b.Resp, r.Resp)
+	b.Name = append(b.Name, r.Name)
+	b.QType = append(b.QType, r.QType)
+	b.TXID = append(b.TXID, r.TXID)
+	b.MsgSize = append(b.MsgSize, r.MsgSize)
+	b.ANCount = append(b.ANCount, r.ANCount)
+	b.VisibleNS = append(b.VisibleNS, r.VisibleNS)
+	b.Ingress = append(b.Ingress, r.Ingress)
+	b.N++
+}
+
+// ConsumeBatch replays a columnar batch through the capture point:
+// remapping batch-table name IDs into the capture point's table,
+// annotating origin/peer ASNs from the routing substrate, applying
+// ingress-port overrides, and accumulating sanitization stats exactly
+// as the frame-level Process would.
+//
+// fn receives a reused *DNSSample — it must not be retained across
+// calls. The steady-state loop performs zero allocations per record:
+// the name remap cache is filled once per distinct name, and the
+// sample struct is scratch storage.
+func (c *CapturePoint) ConsumeBatch(b *SampleBatch, fn func(*DNSSample)) {
+	if b == nil {
+		return
+	}
+	c.Stats.Frames += b.Frames
+	c.Stats.NonUDP += b.NonUDP
+	c.Stats.NonDNS += b.NonDNS
+	c.Stats.Malformed += b.Malformed
+	c.Stats.Accepted += b.N
+	if b.N == 0 {
+		return
+	}
+	if c.remapTab != b.Table {
+		c.remapTab = b.Table
+		c.remap = c.remap[:0]
+	}
+	s := &c.scratch
+	for i := 0; i < b.N; i++ {
+		id := c.translate(b.Table, b.Name[i])
+		*s = DNSSample{
+			Time:       b.Time[i],
+			Src:        b.Src[i],
+			Dst:        b.Dst[i],
+			SrcPort:    b.SrcPort[i],
+			DstPort:    b.DstPort[i],
+			IPTTL:      b.IPTTL[i],
+			IPID:       b.IPID[i],
+			IsResponse: b.Resp[i],
+			Name:       id,
+			QName:      c.Table.Name(id),
+			QType:      b.QType[i],
+			TXID:       b.TXID[i],
+			MsgSize:    int(b.MsgSize[i]),
+			ANCount:    b.ANCount[i],
+			VisibleNS:  int(b.VisibleNS[i]),
+		}
+		if c.Topo != nil {
+			src := netip.AddrFrom4(b.Src[i])
+			s.OriginAS = c.Topo.OriginAS(src)
+			s.PeerAS = c.Topo.PeerHopAS(src)
+			if s.OriginAS != 0 {
+				c.Stats.OriginMapped++
+			}
+			if s.PeerAS != 0 {
+				c.Stats.PeerMapped++
+			}
+		}
+		if b.Ingress[i] != 0 {
+			s.PeerAS = b.Ingress[i]
+		}
+		fn(s)
+	}
+}
+
+// translate maps a batch-table name ID into the capture table through
+// the lazy per-name remap cache.
+func (c *CapturePoint) translate(tab *names.Table, id uint32) uint32 {
+	if tab == c.Table {
+		return id
+	}
+	for len(c.remap) <= int(id) {
+		c.remap = append(c.remap, names.None)
+	}
+	out := c.remap[id]
+	if out == names.None {
+		out = c.Table.Intern(tab.Name(id))
+		c.remap[id] = out
+	}
+	return out
+}

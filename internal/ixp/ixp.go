@@ -7,6 +7,7 @@ package ixp
 
 import (
 	"dnsamp/internal/dnswire"
+	"dnsamp/internal/names"
 	"dnsamp/internal/netmodel"
 	"dnsamp/internal/sflow"
 	"dnsamp/internal/simclock"
@@ -27,7 +28,12 @@ type DNSSample struct {
 	// IsResponse is the DNS QR flag. The "client" of a transaction is
 	// the source of queries and the destination of responses.
 	IsResponse bool
-	// QName is the canonical first question name.
+	// Name is the interned ID of the canonical first question name in
+	// the capture point's names.Table. The detection hot path operates
+	// on IDs only; QName carries the string for report boundaries.
+	Name uint32
+	// QName is the canonical first question name. It aliases the
+	// interning table's storage, so assigning it never allocates.
 	QName string
 	// QType is the first question type.
 	QType dnswire.Type
@@ -73,8 +79,22 @@ func (s *DNSSample) ServerAddr() [4]byte {
 type CapturePoint struct {
 	Topo *topology.Topology
 
+	// Table is the capture point's name-interning space: every sample
+	// it emits carries a Name ID of this table. Consumers sharing the
+	// capture point (aggregator, collector, monitor) must use the same
+	// table.
+	Table *names.Table
+
 	// Stats accumulates sanitization counters.
 	Stats CaptureStats
+
+	// scratch is the sample reused by ConsumeBatch.
+	scratch DNSSample
+	// remap lazily translates batch-table IDs into Table IDs; it is
+	// keyed by the identity of the last batch table seen (generator
+	// tables are frozen, so one cache survives across days).
+	remap    []uint32
+	remapTab *names.Table
 }
 
 // CaptureStats counts the sanitization pipeline outcomes.
@@ -100,9 +120,13 @@ func (s *CaptureStats) Add(other CaptureStats) {
 	s.PeerMapped += other.PeerMapped
 }
 
-// NewCapturePoint builds a capture point over the routing substrate.
-func NewCapturePoint(topo *topology.Topology) *CapturePoint {
-	return &CapturePoint{Topo: topo}
+// NewCapturePoint builds a capture point over the routing substrate,
+// interning names into tab (a fresh table when nil).
+func NewCapturePoint(topo *topology.Topology, tab *names.Table) *CapturePoint {
+	if tab == nil {
+		tab = names.NewTable()
+	}
+	return &CapturePoint{Topo: topo, Table: tab}
 }
 
 // Process sanitizes one sampled record. ok is false when the record is
@@ -129,6 +153,7 @@ func (c *CapturePoint) Process(rec sflow.Record) (DNSSample, bool) {
 		c.Stats.Malformed++
 		return DNSSample{}, false
 	}
+	id := c.Table.Intern(dnswire.CanonicalName(qname))
 	s := DNSSample{
 		Time:       rec.Time,
 		Src:        pkt.IP.Src.As4(),
@@ -138,7 +163,8 @@ func (c *CapturePoint) Process(rec sflow.Record) (DNSSample, bool) {
 		IPTTL:      pkt.IP.TTL,
 		IPID:       pkt.IP.ID,
 		IsResponse: m.Header.QR,
-		QName:      dnswire.CanonicalName(qname),
+		Name:       id,
+		QName:      c.Table.Name(id),
 		QType:      m.QType(),
 		TXID:       m.Header.ID,
 		MsgSize:    pkt.DNSPayloadSize(),

@@ -24,7 +24,7 @@ func buildFrame(t *testing.T, src, dst string, srcPort, dstPort uint16, msg *dns
 
 func TestProcessQuery(t *testing.T) {
 	topo := topology.Generate(topology.Config{Members: 10, ASesPerClass: 10, Seed: 1})
-	cp := NewCapturePoint(topo)
+	cp := NewCapturePoint(topo, nil)
 	q := dnswire.NewQuery(0x1234, "doj.gov", dnswire.TypeANY, 4096)
 	rec := buildFrame(t, "192.0.2.7", "198.51.100.9", 40000, 53, q, 0)
 	s, ok := cp.Process(rec)
@@ -46,7 +46,7 @@ func TestProcessQuery(t *testing.T) {
 }
 
 func TestProcessResponseRecoversSize(t *testing.T) {
-	cp := NewCapturePoint(nil)
+	cp := NewCapturePoint(nil, nil)
 	q := dnswire.NewQuery(7, "nsf.gov", dnswire.TypeANY, 4096)
 	resp := dnswire.NewResponse(q)
 	resp.Header.ANCount = 40 // announced but not materialized
@@ -68,7 +68,7 @@ func TestProcessResponseRecoversSize(t *testing.T) {
 }
 
 func TestProcessRejectsNonDNSPort(t *testing.T) {
-	cp := NewCapturePoint(nil)
+	cp := NewCapturePoint(nil, nil)
 	q := dnswire.NewQuery(1, "x.test", dnswire.TypeA, 0)
 	rec := buildFrame(t, "192.0.2.7", "198.51.100.9", 1234, 4321, q, 0)
 	if _, ok := cp.Process(rec); ok {
@@ -80,7 +80,7 @@ func TestProcessRejectsNonDNSPort(t *testing.T) {
 }
 
 func TestProcessRejectsMalformedName(t *testing.T) {
-	cp := NewCapturePoint(nil)
+	cp := NewCapturePoint(nil, nil)
 	q := dnswire.NewQuery(1, "bad name.test", dnswire.TypeA, 0)
 	q.Questions[0].Name = "bad name.test." // bypass canonicalization
 	rec := buildFrame(t, "192.0.2.7", "198.51.100.9", 4000, 53, q, 0)
@@ -93,7 +93,7 @@ func TestProcessRejectsMalformedName(t *testing.T) {
 }
 
 func TestProcessRejectsGarbage(t *testing.T) {
-	cp := NewCapturePoint(nil)
+	cp := NewCapturePoint(nil, nil)
 	rec := sflow.Record{Frame: []byte{1, 2, 3}}
 	if _, ok := cp.Process(rec); ok {
 		t.Error("garbage accepted")
@@ -105,7 +105,7 @@ func TestProcessRejectsGarbage(t *testing.T) {
 
 func TestOriginAndPeerAnnotation(t *testing.T) {
 	topo := topology.Generate(topology.Config{Members: 10, ASesPerClass: 10, Seed: 1})
-	cp := NewCapturePoint(topo)
+	cp := NewCapturePoint(topo, nil)
 	// Use a real topology address as source.
 	var srcAddr string
 	var wantASN uint32
@@ -133,7 +133,7 @@ func TestOriginAndPeerAnnotation(t *testing.T) {
 }
 
 func TestVisibleNSCount(t *testing.T) {
-	cp := NewCapturePoint(nil)
+	cp := NewCapturePoint(nil, nil)
 	q := dnswire.NewQuery(7, "nsf.gov", dnswire.TypeNS, 0)
 	resp := dnswire.NewResponse(q)
 	for i := 0; i < 3; i++ {

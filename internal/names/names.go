@@ -1,0 +1,131 @@
+// Package names implements deterministic string interning for DNS
+// names: a Table maps canonical names to dense uint32 IDs so that the
+// per-packet hot path (traffic synthesis, capture, aggregation) never
+// hashes or allocates strings.
+//
+// Tables are designed for the pipeline's single-writer sharding model:
+// each worker interns into its own local Table (no locks), and local
+// tables are folded into a global table at the stage barrier with Remap.
+// Because a post-merge Canonicalize orders IDs lexicographically, the
+// final ID assignment is independent of worker count and interleaving —
+// the property the pipeline's serial/parallel equivalence proof relies
+// on.
+package names
+
+import "slices"
+
+// None is the sentinel for "no ID" (e.g. an un-interned name in a remap
+// cache). It is never returned by Intern.
+const None = ^uint32(0)
+
+// Table maps canonical DNS names to dense IDs 0..Len()-1. The zero
+// Table is not ready; use NewTable. A Table is not safe for concurrent
+// mutation; concurrent read-only use (Lookup/Name) is safe.
+type Table struct {
+	ids  map[string]uint32
+	strs []string
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{ids: make(map[string]uint32)}
+}
+
+// Reserve pre-sizes the table for about n names, avoiding rehashing
+// during bulk interning (e.g. freezing a generator's name universe).
+func (t *Table) Reserve(n int) {
+	if n <= len(t.strs) {
+		return
+	}
+	ids := make(map[string]uint32, n)
+	for k, v := range t.ids {
+		ids[k] = v
+	}
+	t.ids = ids
+	strs := make([]string, len(t.strs), n)
+	copy(strs, t.strs)
+	t.strs = strs
+}
+
+// Len returns the number of interned names.
+func (t *Table) Len() int { return len(t.strs) }
+
+// Intern returns the ID of name, assigning the next dense ID on first
+// sight. The caller must pass canonical names (dnswire.CanonicalName);
+// the table does not normalize.
+func (t *Table) Intern(name string) uint32 {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id := uint32(len(t.strs))
+	t.strs = append(t.strs, name)
+	t.ids[name] = id
+	return id
+}
+
+// InternBytes is Intern for a byte view of the name. When the name is
+// already interned no string is allocated (the map lookup uses the
+// compiler's string(b) optimization).
+func (t *Table) InternBytes(b []byte) uint32 {
+	if id, ok := t.ids[string(b)]; ok {
+		return id
+	}
+	return t.Intern(string(b))
+}
+
+// Lookup returns the ID of name without interning.
+func (t *Table) Lookup(name string) (uint32, bool) {
+	id, ok := t.ids[name]
+	return id, ok
+}
+
+// Name returns the interned string for id. The returned string is the
+// table's shared storage: assigning it allocates nothing.
+func (t *Table) Name(id uint32) string { return t.strs[id] }
+
+// Names returns the id-ordered name slice. Callers must not modify it.
+func (t *Table) Names() []string { return t.strs }
+
+// Remap interns every name of from (in from's ID order) and returns the
+// translation slice: remap[fromID] is the corresponding ID in t. Passing
+// t itself returns nil, meaning the identity mapping. Remap is the stage
+// barrier primitive: worker-local tables fold into a global table, and
+// per-ID state is carried across with one slice indexing per entry.
+func (t *Table) Remap(from *Table) []uint32 {
+	if from == nil || from == t {
+		return nil
+	}
+	out := make([]uint32, from.Len())
+	for id, name := range from.strs {
+		out[id] = t.Intern(name)
+	}
+	return out
+}
+
+// Canonicalize builds the canonical (lexicographically ID-ordered) table
+// over the names selected by keep, plus the translation slice from t's
+// IDs (None for dropped names). Canonical tables are equal for any
+// insertion order of the same name set, which makes downstream state
+// byte-identical across worker counts.
+func (t *Table) Canonicalize(keep func(id uint32) bool) (*Table, []uint32) {
+	kept := make([]string, 0, len(t.strs))
+	for id, name := range t.strs {
+		if keep == nil || keep(uint32(id)) {
+			kept = append(kept, name)
+		}
+	}
+	slices.Sort(kept)
+	ct := &Table{ids: make(map[string]uint32, len(kept)), strs: kept}
+	for id, name := range kept {
+		ct.ids[name] = uint32(id)
+	}
+	remap := make([]uint32, len(t.strs))
+	for id, name := range t.strs {
+		if nid, ok := ct.ids[name]; ok && (keep == nil || keep(uint32(id))) {
+			remap[id] = nid
+		} else {
+			remap[id] = None
+		}
+	}
+	return ct, remap
+}

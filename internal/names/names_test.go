@@ -1,0 +1,151 @@
+package names
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestInternLookupRoundTrip(t *testing.T) {
+	tab := NewTable()
+	in := []string{"doj.gov.", ".", "nsf.gov.", "doj.gov.", "a.b.c."}
+	ids := make([]uint32, len(in))
+	for i, n := range in {
+		ids[i] = tab.Intern(n)
+	}
+	if ids[0] != ids[3] {
+		t.Errorf("re-intern changed ID: %d vs %d", ids[0], ids[3])
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tab.Len())
+	}
+	for i, n := range in {
+		if got := tab.Name(ids[i]); got != n {
+			t.Errorf("Name(%d) = %q, want %q", ids[i], got, n)
+		}
+		id, ok := tab.Lookup(n)
+		if !ok || id != ids[i] {
+			t.Errorf("Lookup(%q) = %d,%v", n, id, ok)
+		}
+	}
+	if _, ok := tab.Lookup("missing."); ok {
+		t.Error("Lookup of un-interned name succeeded")
+	}
+	if id := tab.InternBytes([]byte("nsf.gov.")); id != ids[2] {
+		t.Errorf("InternBytes = %d, want %d", id, ids[2])
+	}
+}
+
+func TestInternDenseIDs(t *testing.T) {
+	tab := NewTable()
+	for i, n := range []string{"a.", "b.", "c."} {
+		if id := tab.Intern(n); id != uint32(i) {
+			t.Errorf("Intern(%q) = %d, want %d", n, id, i)
+		}
+	}
+}
+
+func TestRemapIdentity(t *testing.T) {
+	tab := NewTable()
+	tab.Intern("a.")
+	if r := tab.Remap(tab); r != nil {
+		t.Errorf("self remap = %v, want nil identity", r)
+	}
+	if r := tab.Remap(nil); r != nil {
+		t.Errorf("nil remap = %v, want nil", r)
+	}
+}
+
+// TestRemapMergeDeterministic interns shard-locally in different orders
+// (disjoint and overlapping) and checks the canonicalized global tables
+// come out identical — the stage-barrier property the parallel pipeline
+// relies on.
+func TestRemapMergeDeterministic(t *testing.T) {
+	shardsA := [][]string{{"x.", "y."}, {"z.", "w."}}             // disjoint
+	shardsB := [][]string{{"z.", "x.", "w."}, {"w.", "y.", "x."}} // overlapping
+	for _, shards := range [][][]string{shardsA, shardsB} {
+		var tables []*Table
+		for _, names := range shards {
+			tab := NewTable()
+			for _, n := range names {
+				tab.Intern(n)
+			}
+			tables = append(tables, tab)
+		}
+		// Merge in both shard orders.
+		var canon []*Table
+		for _, order := range [][]int{{0, 1}, {1, 0}} {
+			global := NewTable()
+			for _, i := range order {
+				remap := global.Remap(tables[i])
+				if len(remap) != tables[i].Len() {
+					t.Fatalf("remap len %d, want %d", len(remap), tables[i].Len())
+				}
+				for fromID, toID := range remap {
+					if global.Name(toID) != tables[i].Name(uint32(fromID)) {
+						t.Fatalf("remap broke name identity")
+					}
+				}
+			}
+			ct, _ := global.Canonicalize(nil)
+			canon = append(canon, ct)
+		}
+		if !reflect.DeepEqual(canon[0], canon[1]) {
+			t.Errorf("canonical tables differ across merge orders:\n%v\n%v",
+				canon[0].Names(), canon[1].Names())
+		}
+	}
+}
+
+func TestCanonicalizeKeep(t *testing.T) {
+	tab := NewTable()
+	b := tab.Intern("b.")
+	a := tab.Intern("a.")
+	tab.Intern("dropped.")
+	ct, remap := tab.Canonicalize(func(id uint32) bool { return id == a || id == b })
+	if ct.Len() != 2 || ct.Name(0) != "a." || ct.Name(1) != "b." {
+		t.Fatalf("canonical = %v", ct.Names())
+	}
+	if remap[a] != 0 || remap[b] != 1 {
+		t.Errorf("remap = %v", remap)
+	}
+	if remap[2] != None {
+		t.Errorf("dropped name remap = %d, want None", remap[2])
+	}
+}
+
+// TestShardedInternRace mirrors internal/core/merge_test.go's sharding
+// model under the race detector: workers intern into private tables
+// concurrently, the barrier folds them into one global table, and the
+// canonical result is independent of scheduling.
+func TestShardedInternRace(t *testing.T) {
+	names := []string{"doj.gov.", "nsf.gov.", ".", "nic.cz.", "nask.pl."}
+	run := func(workers int) *Table {
+		tables := make([]*Table, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				tab := NewTable()
+				for i := 0; i < 2000; i++ {
+					tab.Intern(names[(i*7+w)%len(names)])
+				}
+				tables[w] = tab
+			}(w)
+		}
+		wg.Wait()
+		global := NewTable()
+		for _, tab := range tables {
+			global.Remap(tab)
+		}
+		ct, _ := global.Canonicalize(nil)
+		return ct
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d canonical table differs: %v vs %v", workers, got.Names(), want.Names())
+		}
+	}
+}

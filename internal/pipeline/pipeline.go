@@ -4,18 +4,23 @@
 // analyses of §5–§7 need.
 //
 // The engine is staged and worker-pooled. Traffic days are materialized
-// in parallel across Config.Concurrency workers; each worker feeds its
-// own private core.Aggregator shard (single-writer, no locks on the hot
-// path), and the shards are merged at the stage barrier. The selector
-// consensus sweep and the pass-2 detail collection are parallelized the
-// same way.
+// in parallel across Config.Concurrency workers as columnar sample
+// batches (name IDs into the generator's frozen interning table); each
+// worker replays its batches into its own private core.Aggregator shard
+// over a worker-local name table (single-writer, no locks or string
+// hashing on the hot path), and the shards are merged — with their
+// interning tables remapped and canonicalized — at the stage barrier.
+// The selector consensus sweep and the pass-2 detail collection are
+// parallelized the same way.
 //
 // Determinism guarantee: a run at a fixed TrafficSeed produces the same
 // Study — detections, records, name list, curves, and aggregate state —
 // at every Concurrency level, including the serial Concurrency == 1
 // path. This holds because each traffic day is a pure function of
 // (campaign, seed, day), per-day results land in per-day slots merged
-// in day order, and shard merging is commutative.
+// in day order, shard merging is commutative, and the post-merge
+// canonicalization assigns name IDs lexicographically (independent of
+// which worker interned a name first).
 package pipeline
 
 import (
@@ -148,38 +153,40 @@ func Run(cfg Config) *Study {
 	// aggregator shard and capture point (single writer, no locks).
 	// Honeypot sensor flows are kept in per-day slots and fed to the
 	// platform serially in day order at the barrier.
+	// All shards aggregate directly in the generator's frozen table
+	// space: the batches' name IDs need no per-worker re-interning, and
+	// shard merges are identity remaps. The table is read-only during
+	// the parallel stage (every name a worker can meet — including the
+	// tracked explicit zones resolved here — was interned at generator
+	// construction).
 	gen := ecosystem.NewGenerator(c, cfg.TrafficSeed)
+	gtab := gen.Table()
 	shards := make([]*pass1Shard, workers)
 	for w := range shards {
 		shards[w] = &pass1Shard{
-			aggMain: core.NewAggregator(track),
-			aggExt:  core.NewAggregator(track),
-			cap:     ixp.NewCapturePoint(c.Topo),
+			aggMain: core.NewAggregator(gtab, track),
+			aggExt:  core.NewAggregator(gtab, track),
+			cap:     ixp.NewCapturePoint(c.Topo, gtab),
 		}
 	}
 	dayFlows := make([][]ecosystem.SensorFlow, len(days))
 	forEachDay(days, workers, func(worker, i int, day simclock.Time) {
 		sh := shards[worker]
 		dt := gen.Day(day)
-		for _, tr := range dt.IXP {
-			s, ok := sh.cap.Process(tr.Rec)
-			if !ok {
-				continue
-			}
-			if tr.Ingress != 0 {
-				s.PeerAS = tr.Ingress
-			}
+		sh.cap.ConsumeBatch(dt.Batch, func(s *ixp.DNSSample) {
 			if window.Contains(s.Time) {
-				sh.aggMain.Observe(&s)
+				sh.aggMain.Observe(s)
 			} else {
-				sh.aggExt.Observe(&s)
+				sh.aggExt.Observe(s)
 			}
-		}
+		})
 		dayFlows[i] = dt.Sensors
 	})
 
 	// Stage barrier: merge shards (commutative, so worker order is
-	// irrelevant) and replay sensor flows in day order.
+	// irrelevant), canonicalize the merged name tables so IDs are
+	// independent of the sharding, and replay sensor flows in day
+	// order.
 	st.AggMain = shards[0].aggMain
 	st.AggExt = shards[0].aggExt
 	st.CaptureStats = shards[0].cap.Stats
@@ -188,6 +195,8 @@ func Run(cfg Config) *Study {
 		st.AggExt.Merge(sh.aggExt)
 		st.CaptureStats.Add(sh.cap.Stats)
 	}
+	st.AggMain.Canonicalize()
+	st.AggExt.Canonicalize()
 	hp := honeypot.NewPlatform(honeypot.CCCThresholds(), cfg.Campaign.NumSensors)
 	for _, flows := range dayFlows {
 		for _, sf := range flows {
@@ -236,7 +245,17 @@ func Run(cfg Config) *Study {
 			spill = s
 		}
 	}
-	gen2 := ecosystem.NewGenerator(c, cfg.TrafficSeed)
+	// Pass 2 reuses the pass-1 generator (its day synthesis is a pure
+	// function of the day, and its frozen table is read-only); per-day
+	// collectors resolve candidates against that table, so batch replay
+	// again needs no re-interning. Candidates are pre-resolved serially
+	// here: NameList names come from selectors over observed traffic,
+	// so they are already interned, and this no-op pass guarantees the
+	// concurrent NewCollector calls below only ever read the shared
+	// table even if a future caller feeds names from elsewhere.
+	for n := range st.NameList.Names {
+		gtab.Intern(n)
+	}
 	dayCols := make([]*core.Collector, len(days))
 	forEachDay(days, workers, func(worker, i int, day simclock.Time) {
 		var dets []*core.Detection
@@ -246,22 +265,13 @@ func Run(cfg Config) *Study {
 		if len(dets) == 0 {
 			return
 		}
-		col := core.NewCollector(dets, st.NameList.Names)
-		cap2 := ixp.NewCapturePoint(c.Topo)
-		dt := gen2.Day(day)
-		for _, tr := range dt.IXP {
-			s, ok := cap2.Process(tr.Rec)
-			if !ok {
-				continue
-			}
-			if tr.Ingress != 0 {
-				s.PeerAS = tr.Ingress
-			}
-			col.Observe(&s)
-		}
+		col := core.NewCollector(gtab, dets, st.NameList.Names)
+		cap2 := ixp.NewCapturePoint(c.Topo, gtab)
+		dt := gen.Day(day)
+		cap2.ConsumeBatch(dt.Batch, func(s *ixp.DNSSample) { col.Observe(s) })
 		dayCols[i] = col
 	})
-	col := core.NewCollector(all, st.NameList.Names)
+	col := core.NewCollector(gtab, all, st.NameList.Names)
 	for _, dc := range dayCols {
 		if dc != nil {
 			col.Merge(dc)

@@ -9,6 +9,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -42,7 +43,7 @@ func (e *ECDF) Len() int { return len(e.samples) }
 // Sort orders the underlying samples; queries call it implicitly.
 func (e *ECDF) Sort() {
 	if !e.sorted {
-		sort.Float64s(e.samples)
+		slices.Sort(e.samples)
 		e.sorted = true
 	}
 }
@@ -342,7 +343,7 @@ func (c *Counter) Keys() []string {
 	for k := range c.counts {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	return keys
 }
 

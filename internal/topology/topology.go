@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
-	"sort"
+	"slices"
 
 	"dnsamp/internal/stats"
 )
@@ -114,7 +114,7 @@ func Generate(cfg Config) *Topology {
 		t.Members = append(t.Members, a.ASN)
 		t.cone[a.ASN] = a.ASN
 	}
-	sort.Slice(t.Members, func(i, j int) bool { return t.Members[i] < t.Members[j] })
+	slices.Sort(t.Members)
 
 	// Transit members carry larger customer cones: weight attachment
 	// toward transits.
@@ -190,7 +190,7 @@ func (t *Topology) ASesOfType(typ ASType) []uint32 {
 			out = append(out, asn)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -256,7 +256,7 @@ func (rt *routeTable) insert(p netip.Prefix, asn uint32) {
 	if rt.byLen[l] == nil {
 		rt.byLen[l] = make(map[uint32]uint32)
 		rt.lens = append(rt.lens, l)
-		sort.Sort(sort.Reverse(sort.IntSlice(rt.lens)))
+		slices.SortFunc(rt.lens, func(a, b int) int { return b - a })
 	}
 	key := binary.BigEndian.Uint32(p.Masked().Addr().AsSlice())
 	rt.byLen[l][key] = asn

@@ -1,0 +1,17 @@
+package zonedb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestProceduralNameFormat(t *testing.T) {
+	db := New(Config{ProceduralNames: 100})
+	for _, i := range []int{0, 1, 7, 99, 12345, 9999999, 10000000, 123456789} {
+		tld := db.procTLDs[i%len(db.procTLDs)]
+		want := fmt.Sprintf("host%07d.%s.", i, tld)
+		if got := db.ProceduralName(i); got != want {
+			t.Errorf("ProceduralName(%d) = %q, want %q", i, got, want)
+		}
+	}
+}

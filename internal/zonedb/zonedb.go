@@ -23,7 +23,7 @@ import (
 	"fmt"
 	"math"
 	"net/netip"
-	"sort"
+	"slices"
 	"strings"
 
 	"dnsamp/internal/dnssec"
@@ -194,7 +194,7 @@ func New(cfg Config) *DB {
 	db.entityNames = canonAll(entityGov)
 	db.misusedNames = canonAll(append(append(append([]string{}, entityGov...), otherGov...), append(otherMisused, idleCandidates...)...))
 	db.attacked = canonAll(append(append(append([]string{}, entityGov...), otherGov...), otherMisused...))
-	sort.Strings(db.names)
+	slices.Sort(db.names)
 	return db
 }
 
@@ -347,10 +347,32 @@ func (db *DB) AttackedNames() []string { return db.attacked }
 // NumProceduralNames returns the bulk namespace size.
 func (db *DB) NumProceduralNames() int { return db.procCount }
 
-// ProceduralName returns the i-th bulk name (0-based).
+// ProceduralName returns the i-th bulk name (0-based), equal to
+// fmt.Sprintf("host%07d.%s.", i, tld) but without the formatter
+// overhead (name-table freezing interns hundreds of thousands of
+// these).
 func (db *DB) ProceduralName(i int) string {
 	tld := db.procTLDs[i%len(db.procTLDs)]
-	return fmt.Sprintf("host%07d.%s.", i, tld)
+	var digits [20]byte
+	d := len(digits)
+	for v := i; ; {
+		d--
+		digits[d] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	buf := make([]byte, 0, 13+len(tld))
+	buf = append(buf, "host"...)
+	for pad := 7 - (len(digits) - d); pad > 0; pad-- {
+		buf = append(buf, '0')
+	}
+	buf = append(buf, digits[d:]...)
+	buf = append(buf, '.')
+	buf = append(buf, tld...)
+	buf = append(buf, '.')
+	return string(buf)
 }
 
 // ANYSize returns the estimated ANY response size in bytes of a name at
@@ -422,7 +444,7 @@ func (z *Zone) BuildANYResponse(q *dnswire.Message, t simclock.Time) *dnswire.Me
 	for typ := range z.RRsets {
 		types = append(types, typ)
 	}
-	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	slices.Sort(types)
 	for _, typ := range types {
 		resp.Answers = append(resp.Answers, z.RRsets[typ]...)
 	}
