@@ -447,6 +447,22 @@ func BenchmarkPipelineParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineCached is BenchmarkPipelineParallel with the
+// day-batch cache enabled (source.Cached, unbounded): pass 2 replays
+// the batches pass 1 materialized instead of regenerating them. The
+// delta against BenchmarkPipelineParallel is the pass-2 reuse win;
+// results are byte-identical (TestRunnerMatchesRun).
+func BenchmarkPipelineCached(b *testing.B) {
+	cfg := benchPipelineConfig()
+	cfg.Concurrency = 0 // all cores
+	cfg.CacheDays = -1  // cache every day
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipeline.Run(cfg)
+	}
+}
+
 func BenchmarkDBSCAN(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	n := 400

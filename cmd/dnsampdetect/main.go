@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dnsampdetect [-scale 0.05] [-seed 1] [-concurrency 0] [-v]
+//	dnsampdetect [-scale 0.05] [-seed 1] [-concurrency 0] [-cache-days 0] [-v]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "campaign seed")
 	verbose := flag.Bool("v", false, "print every detection")
 	concurrency := flag.Int("concurrency", 0, "pipeline worker count (0 = all cores, 1 = serial; results are identical)")
+	cacheDays := flag.Int("cache-days", 0, "day-batch cache so pass 2 reuses pass-1 traffic (0 = off, -1 = all days, n = the oldest n days)")
 	flag.Parse()
 
 	start := time.Now()
@@ -31,7 +32,23 @@ func main() {
 	cfg.Campaign.Seed = *seed
 	cfg.ExtendedWindow = false // detection only needs the main window
 	cfg.Concurrency = *concurrency
-	st := pipeline.Run(cfg)
+	cfg.CacheDays = *cacheDays
+
+	// Drive the staged Runner explicitly to report per-stage timings;
+	// the result is byte-identical to pipeline.Run(cfg).
+	r := pipeline.NewRunner(cfg)
+	for _, stage := range []struct {
+		name string
+		run  func() *pipeline.Runner
+	}{
+		{"plan", r.Plan}, {"aggregate", r.Aggregate}, {"select", r.Select},
+		{"detect", r.Detect}, {"collect", r.Collect},
+	} {
+		t0 := time.Now()
+		stage.run()
+		fmt.Fprintf(os.Stderr, "%-9s %s\n", stage.name, time.Since(t0).Round(time.Millisecond))
+	}
+	st := r.Study()
 
 	fmt.Printf("sanitized DNS samples: %d (%d dropped as malformed)\n",
 		st.CaptureStats.Accepted, st.CaptureStats.Malformed)

@@ -13,13 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"dnsamp/internal/core"
 	"dnsamp/internal/ecosystem"
-	"dnsamp/internal/ixp"
 	"dnsamp/internal/simclock"
+	"dnsamp/internal/source"
 )
 
 func main() {
@@ -32,52 +31,18 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "building campaign (scale %.2f)...\n", *scale)
 	c := ecosystem.NewCampaign(ecosystem.DefaultCampaignConfig(*scale))
-	gen := ecosystem.NewGenerator(c, 11)
+	window := simclock.Window{
+		Start: simclock.MeasurementStart,
+		End:   simclock.MeasurementStart.Add(simclock.Days(*days)),
+	}
+	src := source.NewSynthetic(ecosystem.NewGenerator(c, 11), window)
 	mon := core.NewMonitor(*listSize, simclock.Duration(interval.Seconds()), core.DefaultThresholds())
-	capture := ixp.NewCapturePoint(c.Topo, mon.Table())
 
-	// The online monitor is stateful and must see traffic in day order,
-	// so concurrency takes the form of a bounded prefetch: day traffic
-	// materializes in parallel while the monitor consumes days in order.
-	// A producer holds its semaphore token until the consumer has
-	// processed its day, bounding resident day traffic (generating or
-	// generated-but-unconsumed) to the worker count.
-	workers := *concurrency
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	end := simclock.MeasurementStart.Add(simclock.Days(*days))
-	var dayList []simclock.Time
-	for day := simclock.MeasurementStart; day.Before(end); day = day.Add(simclock.Day) {
-		dayList = append(dayList, day)
-	}
-	slots := make([]chan *ecosystem.DayTraffic, len(dayList))
-	for i := range slots {
-		slots[i] = make(chan *ecosystem.DayTraffic, 1)
-	}
-	// The launcher takes tokens in day order, so the in-flight window is
-	// always the next `workers` unconsumed days and the consumer can
-	// never be starved of the day it is waiting on.
-	sem := make(chan struct{}, workers)
-	go func() {
-		for i, day := range dayList {
-			sem <- struct{}{}
-			go func(i int, day simclock.Time) {
-				slots[i] <- gen.Day(day)
-			}(i, day)
-		}
-	}()
-	for i, day := range dayList {
-		dt := <-slots[i]
-		n := 0
-		if dt.Batch != nil {
-			n = dt.Batch.N
-		}
-		capture.ConsumeBatch(dt.Batch, mon.Observe)
+	// Monitor.Consume prefetches day traffic in parallel while the
+	// (stateful, order-dependent) monitor consumes days in order.
+	mon.Consume(src, c.Topo, *concurrency, func(day simclock.Time, n int) {
 		fmt.Fprintf(os.Stderr, "%s: %d samples processed\n", day.Date(), n)
-		<-sem
-	}
-	mon.Close(end)
+	})
 
 	fmt.Println("day          victims  /24s  /16s  /8s   name-list Jaccard vs prev day")
 	for _, d := range mon.Days() {

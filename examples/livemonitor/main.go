@@ -1,7 +1,8 @@
-// Livemonitor demonstrates the §4.3 online deployment: frames arrive one
-// by one (as they would from an sFlow collector), the monitor keeps a
-// rolling daily aggregate, refreshes the misused-name list every five
-// minutes of traffic time, and emits per-day victim statistics.
+// Livemonitor demonstrates the §4.3 online deployment: sampled traffic
+// streams day by day from a source.Source (as it would from an sFlow
+// collector), the monitor keeps a rolling daily aggregate, refreshes
+// the misused-name list every five minutes of traffic time, and emits
+// per-day victim statistics.
 //
 // Unlike the offline pipeline, the monitor never sees the future: name
 // lists adapt as attacks change.
@@ -12,26 +13,22 @@ import (
 
 	"dnsamp/internal/core"
 	"dnsamp/internal/ecosystem"
-	"dnsamp/internal/ixp"
 	"dnsamp/internal/simclock"
+	"dnsamp/internal/source"
 )
 
 func main() {
 	c := ecosystem.NewCampaign(ecosystem.DefaultCampaignConfig(0.03))
-	gen := ecosystem.NewGenerator(c, 11)
 	mon := core.NewMonitor(29, 5*simclock.Minute, core.DefaultThresholds())
-	capture := ixp.NewCapturePoint(c.Topo, mon.Table())
 
 	// Stream one week that includes an entity name transition so the
 	// list update is visible.
 	start := simclock.MeasurementStart.Add(simclock.Days(16))
-	for d := 0; d < 7; d++ {
-		day := start.Add(simclock.Days(d))
-		names := c.Entity.NameAt(day)
-		capture.ConsumeBatch(gen.Day(day).Batch, mon.Observe)
-		fmt.Printf("%s streamed (entity currently misuses %v)\n", day.Date(), names)
-	}
-	mon.Close(start.Add(simclock.Days(7)))
+	window := simclock.Window{Start: start, End: start.Add(simclock.Days(7))}
+	src := source.NewSynthetic(ecosystem.NewGenerator(c, 11), window)
+	mon.Consume(src, c.Topo, 0, func(day simclock.Time, n int) {
+		fmt.Printf("%s streamed (entity currently misuses %v)\n", day.Date(), c.Entity.NameAt(day))
+	})
 
 	fmt.Println("\nday          victims  /24s  list-Jaccard")
 	for _, d := range mon.Days() {

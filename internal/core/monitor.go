@@ -1,10 +1,13 @@
 package core
 
 import (
+	"runtime"
+
 	"dnsamp/internal/ixp"
 	"dnsamp/internal/names"
 	"dnsamp/internal/simclock"
 	"dnsamp/internal/stats"
+	"dnsamp/internal/topology"
 )
 
 // Monitor is the live-monitoring prototype of §4.3: it identifies
@@ -133,6 +136,70 @@ func (m *Monitor) rollDay(now simclock.Time) {
 	m.agg = NewAggregator(m.tab, nil)
 	m.agg.SetTrackAll(true)
 	m.dayOfData = now.Day()
+}
+
+// DaySource is the slice of the source.Source interface the monitor
+// consumes: a day list and per-day sample batches. It is declared on
+// the consumer side (Go convention) so the detection core stays
+// independent of the traffic-source implementations; any source.Source
+// satisfies it. Day must be safe for concurrent calls — Consume
+// prefetches days in parallel.
+type DaySource interface {
+	Days() []simclock.Time
+	Day(day simclock.Time) *ixp.SampleBatch
+}
+
+// Consume streams every day of a traffic source through the monitor and
+// finalizes it. The monitor is stateful and must see traffic in day
+// order, so concurrency takes the form of a bounded prefetch: up to
+// prefetch days (0 = all cores) materialize in parallel while the
+// monitor consumes days in order. A producer holds its semaphore token
+// until the consumer has processed its day, bounding resident day
+// traffic (generating or generated-but-unconsumed) to the prefetch
+// width. Output is identical at every width.
+//
+// Samples are annotated against topo through a capture point over the
+// monitor's own interning table. onDay, when non-nil, is invoked after
+// each day is consumed with the day's sample count (a progress hook).
+func (m *Monitor) Consume(src DaySource, topo *topology.Topology, prefetch int, onDay func(day simclock.Time, samples int)) {
+	days := src.Days()
+	if len(days) == 0 {
+		return
+	}
+	if prefetch <= 0 {
+		prefetch = runtime.GOMAXPROCS(0)
+	}
+	capture := ixp.NewCapturePoint(topo, m.tab)
+
+	slots := make([]chan *ixp.SampleBatch, len(days))
+	for i := range slots {
+		slots[i] = make(chan *ixp.SampleBatch, 1)
+	}
+	// The launcher takes tokens in day order, so the in-flight window is
+	// always the next `prefetch` unconsumed days and the consumer can
+	// never be starved of the day it is waiting on.
+	sem := make(chan struct{}, prefetch)
+	go func() {
+		for i, day := range days {
+			sem <- struct{}{}
+			go func(i int, day simclock.Time) {
+				slots[i] <- src.Day(day)
+			}(i, day)
+		}
+	}()
+	for i, day := range days {
+		batch := <-slots[i]
+		n := 0
+		if batch != nil {
+			n = batch.N
+		}
+		capture.ConsumeBatch(batch, m.Observe)
+		if onDay != nil {
+			onDay(day, n)
+		}
+		<-sem
+	}
+	m.Close(days[len(days)-1].Add(simclock.Day))
 }
 
 // Close finalizes the trailing day.

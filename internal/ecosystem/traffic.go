@@ -114,6 +114,11 @@ type WireDayTraffic struct {
 // WireDay(d) processed through ixp.CapturePoint.Process yields exactly
 // the samples of Day(d) through ConsumeBatch. TestDayBatchMatchesWire
 // holds this equivalence.
+//
+// Consumers normally do not call Day directly: source.Synthetic adapts
+// a Generator to the streaming source.Source interface the detection
+// pipeline and the live monitor consume (and source.Cached adds
+// cross-pass batch reuse on top).
 type Generator struct {
 	C          *Campaign
 	Background BackgroundConfig

@@ -118,6 +118,33 @@ func (b *SampleBatch) Append(r BatchRecord) {
 	b.N++
 }
 
+// AppendSample appends one sanitized sample — as produced by
+// CapturePoint.Process — to the batch. The sample's Name ID must live
+// in the batch's Table (i.e. the producing capture point interned into
+// it). ingress carries the port metadata of spoofed packets whose
+// source address cannot be attributed (0 = derive at consumption time);
+// AS annotations are not stored: ConsumeBatch recomputes them against
+// the consumer's routing substrate.
+func (b *SampleBatch) AppendSample(s *DNSSample, ingress uint32) {
+	b.Append(BatchRecord{
+		Time:      s.Time,
+		Src:       s.Src,
+		Dst:       s.Dst,
+		SrcPort:   s.SrcPort,
+		DstPort:   s.DstPort,
+		IPTTL:     s.IPTTL,
+		IPID:      s.IPID,
+		Resp:      s.IsResponse,
+		Name:      s.Name,
+		QType:     s.QType,
+		TXID:      s.TXID,
+		MsgSize:   int32(s.MsgSize),
+		ANCount:   s.ANCount,
+		VisibleNS: uint16(s.VisibleNS),
+		Ingress:   ingress,
+	})
+}
+
 // ConsumeBatch replays a columnar batch through the capture point:
 // remapping batch-table name IDs into the capture point's table,
 // annotating origin/peer ASNs from the routing substrate, applying

@@ -3,22 +3,38 @@
 // IXP detection pipeline (both passes), and bundles everything the
 // analyses of §5–§7 need.
 //
-// The engine is staged and worker-pooled. Traffic days are materialized
-// in parallel across Config.Concurrency workers as columnar sample
-// batches (name IDs into the generator's frozen interning table); each
-// worker replays its batches into its own private core.Aggregator shard
-// over a worker-local name table (single-writer, no locks or string
-// hashing on the hot path), and the shards are merged — with their
-// interning tables remapped and canonicalized — at the stage barrier.
-// The selector consensus sweep and the pass-2 detail collection are
-// parallelized the same way.
+// The engine is a staged Runner over a source.Source traffic stream:
+//
+//	Plan      build campaign + source (synthetic by default)
+//	Aggregate pass 1 — sharded day replay into aggregates + honeypot
+//	Select    selector sweep, consensus point, misused-name list
+//	Detect    threshold detection over the aggregates
+//	Collect   pass 2 — per-attack detail records
+//
+// Each stage is independently invokable and recomputes only its own
+// outputs; invoking a stage runs any prerequisite stages that have not
+// run yet. Re-running a later stage after changing its inputs (e.g.
+// Detect with new Thresholds) reuses everything upstream. Run is the
+// one-shot convenience wrapper that executes all stages; its Study is
+// byte-identical to a staged invocation.
+//
+// Every stage is worker-pooled. Traffic days are materialized in
+// parallel across Config.Concurrency workers as columnar sample batches
+// (name IDs into the source's interning table); each worker replays its
+// batches into its own private core.Aggregator shard over a worker-local
+// name table (single-writer, no locks or string hashing on the hot
+// path), and the shards are merged — with their interning tables
+// remapped and canonicalized — at the stage barrier. The selector
+// consensus sweep and the pass-2 detail collection are parallelized the
+// same way.
 //
 // Determinism guarantee: a run at a fixed TrafficSeed produces the same
 // Study — detections, records, name list, curves, and aggregate state —
 // at every Concurrency level, including the serial Concurrency == 1
-// path. This holds because each traffic day is a pure function of
-// (campaign, seed, day), per-day results land in per-day slots merged
-// in day order, shard merging is commutative, and the post-merge
+// path, and with or without the day-batch cache (Config.CacheDays).
+// This holds because each traffic day is a pure function of (campaign,
+// seed, day), per-day results land in per-day slots merged in day
+// order, shard merging is commutative, and the post-merge
 // canonicalization assigns name IDs lexicographically (independent of
 // which worker interned a name first).
 package pipeline
@@ -32,6 +48,7 @@ import (
 	"dnsamp/internal/ixp"
 	"dnsamp/internal/par"
 	"dnsamp/internal/simclock"
+	"dnsamp/internal/source"
 )
 
 // Config controls a study run.
@@ -50,6 +67,16 @@ type Config struct {
 	// means runtime.GOMAXPROCS(0); 1 forces the serial path. Results
 	// are identical at every setting.
 	Concurrency int
+	// CacheDays wraps the default synthetic source in a day-batch cache
+	// (source.Cached) so pass 2 reuses the batches pass 1 materialized
+	// instead of regenerating them: 0 disables the cache, a negative
+	// value caches every day (unbounded — full pass-2 reuse), a
+	// positive value caps resident days (the cache keeps the oldest
+	// days, so pass 2 reuses roughly CacheDays of them and regenerates
+	// the rest). Results are identical at every setting; the cache
+	// trades memory (roughly one day's batch per resident day) for
+	// generation time.
+	CacheDays int
 }
 
 // DefaultConfig returns a study configuration at the given scale.
@@ -61,7 +88,8 @@ func DefaultConfig(scale float64) Config {
 		MaxSelectorN:   70,
 		ExtendedWindow: true,
 		// Concurrency stays 0: the portable "all cores" value, resolved
-		// by workers() at run time.
+		// by workers() at run time. CacheDays stays 0: regeneration is
+		// the memory-lean default; memory-rich hosts opt in.
 	}
 }
 
@@ -112,18 +140,96 @@ func (cfg Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// daysOf collects the start-of-day times of a window.
-func daysOf(w simclock.Window) []simclock.Time {
-	days := make([]simclock.Time, 0, w.Days())
-	w.EachDay(func(day simclock.Time) { days = append(days, day) })
-	return days
-}
-
 // forEachDay runs fn(worker, i, days[i]) for every day across a pool of
 // workers; fn must write its results into per-day or per-worker slots
 // only.
 func forEachDay(days []simclock.Time, workers int, fn func(worker, i int, day simclock.Time)) {
 	par.For(len(days), workers, func(worker, i int) { fn(worker, i, days[i]) })
+}
+
+// Runner is the staged study engine. Zero state is built lazily: each
+// stage method runs its prerequisites if they have not run yet, then
+// (re)computes its own outputs, so both one-shot use
+// (NewRunner(cfg).Study()) and incremental use (mutate Cfg.Thresholds,
+// re-Detect, re-Collect) share one code path.
+//
+// Campaign and Src may be set before the first stage runs to study
+// custom traffic: a nil Src is planned as source.Synthetic over the
+// campaign's generator (wrapped in source.Cached when Cfg.CacheDays is
+// non-zero). A Runner is not safe for concurrent stage invocations; the
+// parallelism lives inside the stages.
+type Runner struct {
+	Cfg Config
+
+	// Campaign supplies the ground truth, topology, and namespace. Built
+	// by Plan from Cfg.Campaign when nil.
+	Campaign *ecosystem.Campaign
+
+	// Src is the traffic stream. Built by Plan when nil.
+	Src source.Source
+
+	st     *Study
+	days   []simclock.Time
+	window simclock.Window
+
+	planned, aggregated, selected, detected, collected bool
+}
+
+// NewRunner creates a staged runner over cfg. No work happens until the
+// first stage (or Study) is invoked.
+func NewRunner(cfg Config) *Runner { return &Runner{Cfg: cfg} }
+
+// NewRunnerWithSource creates a runner that streams traffic from src
+// instead of synthesizing it. The campaign still supplies ground truth,
+// topology, and the tracked explicit zones.
+func NewRunnerWithSource(cfg Config, c *ecosystem.Campaign, src source.Source) *Runner {
+	return &Runner{Cfg: cfg, Campaign: c, Src: src}
+}
+
+// Run executes the full study: the one-shot compatibility wrapper over
+// the staged Runner, producing a byte-identical Study.
+func Run(cfg Config) *Study { return NewRunner(cfg).Study() }
+
+// Study returns the bundled result, running any stages that have not
+// run yet. Re-running a stage marks its downstream stages stale, so a
+// later Study (or explicit stage call) refreshes them; the same Study
+// value always reflects the latest outputs.
+func (r *Runner) Study() *Study {
+	if !r.collected {
+		r.Collect()
+	}
+	return r.st
+}
+
+// Plan builds the campaign and the traffic source. It runs once;
+// subsequent calls are no-ops.
+func (r *Runner) Plan() *Runner {
+	if r.planned {
+		return r
+	}
+	r.st = &Study{Cfg: r.Cfg}
+	if r.Campaign == nil {
+		r.Campaign = ecosystem.NewCampaign(r.Cfg.Campaign)
+	}
+	r.st.Campaign = r.Campaign
+	r.window = simclock.MainPeriod()
+	full := simclock.MainPeriod()
+	if r.Cfg.ExtendedWindow {
+		full = simclock.EntityPeriod()
+	}
+	if r.Src == nil {
+		gen := ecosystem.NewGenerator(r.Campaign, r.Cfg.TrafficSeed)
+		r.Src = source.NewSynthetic(gen, full)
+		if n := r.Cfg.CacheDays; n != 0 {
+			if n < 0 {
+				n = 0 // source.Cached treats <= 0 as unbounded
+			}
+			r.Src = source.NewCached(r.Src, n)
+		}
+	}
+	r.days = r.Src.Days()
+	r.planned = true
+	return r
 }
 
 // pass1Shard is one worker's private single-writer aggregation state.
@@ -132,55 +238,47 @@ type pass1Shard struct {
 	cap             *ixp.CapturePoint
 }
 
-// Run executes the full study.
-func Run(cfg Config) *Study {
-	st := &Study{Cfg: cfg}
-	st.Campaign = ecosystem.NewCampaign(cfg.Campaign)
-	c := st.Campaign
-
-	window := simclock.MainPeriod()
-	full := simclock.MainPeriod()
-	if cfg.ExtendedWindow {
-		full = simclock.EntityPeriod()
-	}
-	days := daysOf(full)
-	workers := cfg.workers()
-
+// Aggregate runs pass 1: workers materialize the source's days in
+// parallel, each observing into its own aggregator shard and capture
+// point (single writer, no locks); honeypot sensor flows are kept in
+// per-day slots and fed to the platform serially in day order at the
+// barrier. It fills AggMain, AggExt, CaptureStats, and HoneypotAttacks.
+//
+// Shards aggregate directly in the source's interning table space: for
+// the synthetic source every name a worker can meet — including the
+// tracked explicit zones resolved here — was interned at generator
+// construction, so the batches' name IDs need no per-worker
+// re-interning, shard merges are identity remaps, and the table is
+// read-only during the parallel stage. Sources whose batches carry
+// other tables remap lazily per capture point.
+func (r *Runner) Aggregate() *Runner {
+	r.Plan()
+	st, c := r.st, r.Campaign
+	workers := r.Cfg.workers()
 	track := append([]string{}, c.DB.ExplicitNames()...)
 
-	// --- Pass 1: aggregate + honeypot ---------------------------------
-	// Workers materialize days in parallel; each observes into its own
-	// aggregator shard and capture point (single writer, no locks).
-	// Honeypot sensor flows are kept in per-day slots and fed to the
-	// platform serially in day order at the barrier.
-	// All shards aggregate directly in the generator's frozen table
-	// space: the batches' name IDs need no per-worker re-interning, and
-	// shard merges are identity remaps. The table is read-only during
-	// the parallel stage (every name a worker can meet — including the
-	// tracked explicit zones resolved here — was interned at generator
-	// construction).
-	gen := ecosystem.NewGenerator(c, cfg.TrafficSeed)
-	gtab := gen.Table()
+	stab := r.Src.Table()
 	shards := make([]*pass1Shard, workers)
 	for w := range shards {
 		shards[w] = &pass1Shard{
-			aggMain: core.NewAggregator(gtab, track),
-			aggExt:  core.NewAggregator(gtab, track),
-			cap:     ixp.NewCapturePoint(c.Topo, gtab),
+			aggMain: core.NewAggregator(stab, track),
+			aggExt:  core.NewAggregator(stab, track),
+			cap:     ixp.NewCapturePoint(c.Topo, stab),
 		}
 	}
-	dayFlows := make([][]ecosystem.SensorFlow, len(days))
-	forEachDay(days, workers, func(worker, i int, day simclock.Time) {
+	window := r.window
+	dayFlows := make([][]ecosystem.SensorFlow, len(r.days))
+	forEachDay(r.days, workers, func(worker, i int, day simclock.Time) {
 		sh := shards[worker]
-		dt := gen.Day(day)
-		sh.cap.ConsumeBatch(dt.Batch, func(s *ixp.DNSSample) {
+		batch, flows := r.Src.DayFlows(day)
+		sh.cap.ConsumeBatch(batch, func(s *ixp.DNSSample) {
 			if window.Contains(s.Time) {
 				sh.aggMain.Observe(s)
 			} else {
 				sh.aggExt.Observe(s)
 			}
 		})
-		dayFlows[i] = dt.Sensors
+		dayFlows[i] = flows
 	})
 
 	// Stage barrier: merge shards (commutative, so worker order is
@@ -197,7 +295,7 @@ func Run(cfg Config) *Study {
 	}
 	st.AggMain.Canonicalize()
 	st.AggExt.Canonicalize()
-	hp := honeypot.NewPlatform(honeypot.CCCThresholds(), cfg.Campaign.NumSensors)
+	hp := honeypot.NewPlatform(honeypot.CCCThresholds(), r.Cfg.Campaign.NumSensors)
 	for _, flows := range dayFlows {
 		for _, sf := range flows {
 			if window.Contains(sf.Start) {
@@ -206,8 +304,19 @@ func Run(cfg Config) *Study {
 		}
 	}
 	st.HoneypotAttacks = hp.Finalize()
+	r.aggregated = true
+	r.selected, r.detected, r.collected = false, false, false
+	return r
+}
 
-	// --- Selectors and name list --------------------------------------
+// Select runs the selector sweep over the pass-1 aggregates: the three
+// selectors, the consensus point (Fig. 3), and the final misused-name
+// list.
+func (r *Runner) Select() *Runner {
+	if !r.aggregated {
+		r.Aggregate()
+	}
+	st := r.st
 	gts := make([]core.GroundTruthAttack, 0, len(st.HoneypotAttacks))
 	for _, a := range st.HoneypotAttacks {
 		gts = append(gts, core.GroundTruthAttack{Victim: a.VictimKey(), Start: a.Start, End: a.End})
@@ -215,25 +324,49 @@ func Run(cfg Config) *Study {
 	st.Sel1 = core.Selector1MaxSize(st.AggMain)
 	st.Sel2 = core.Selector2ANYCount(st.AggMain)
 	st.Sel3, st.VisibleGroundTruth = core.Selector3GroundTruth(st.AggMain, gts)
-	st.ConsensusN, st.ConsensusCurve = core.ConsensusPointParallel(cfg.MaxSelectorN, workers, st.Sel1, st.Sel2, st.Sel3)
+	st.ConsensusN, st.ConsensusCurve = core.ConsensusPointParallel(r.Cfg.MaxSelectorN, r.Cfg.workers(), st.Sel1, st.Sel2, st.Sel3)
 	st.NameList = core.BuildNameList(st.ConsensusN, st.Sel1, st.Sel2, st.Sel3)
+	r.selected = true
+	r.detected, r.collected = false, false
+	return r
+}
 
-	// --- Detection ------------------------------------------------------
-	st.Detections = core.Detect(st.AggMain, st.NameList.Names, cfg.Thresholds)
-	if cfg.ExtendedWindow {
-		st.DetectionsExt = core.Detect(st.AggExt, st.NameList.Names, cfg.Thresholds)
+// Detect runs threshold detection over the aggregates and the current
+// name list. It reads Cfg.Thresholds at call time: mutate Cfg and
+// re-invoke to re-detect without re-aggregating (then re-invoke Collect
+// if pass-2 records are needed for the new detections).
+func (r *Runner) Detect() *Runner {
+	if !r.selected {
+		r.Select()
 	}
+	st := r.st
+	st.Cfg.Thresholds = r.Cfg.Thresholds
+	st.Detections = core.Detect(st.AggMain, st.NameList.Names, r.Cfg.Thresholds)
+	st.DetectionsExt = nil
+	if r.Cfg.ExtendedWindow {
+		st.DetectionsExt = core.Detect(st.AggExt, st.NameList.Names, r.Cfg.Thresholds)
+	}
+	r.detected = true
+	r.collected = false
+	return r
+}
 
-	// --- Pass 2: per-attack details ------------------------------------
-	// A sample lands in the record keyed by its own (client, sample-day),
-	// but events straddling midnight emit samples on days after their
-	// generation day. Each generation day therefore gets a private
-	// collector over the detections it can possibly feed — its own day
-	// plus the campaign's maximum event span ("spill horizon") — and
-	// days that cannot feed any detection are skipped entirely. The
-	// per-day partials are merged into the full collector in day order
-	// at the barrier, which reproduces the serial collector's record
-	// and VisibleNS ordering exactly.
+// Collect runs pass 2, gathering per-attack details for the current
+// detections. A sample lands in the record keyed by its own (client,
+// sample-day), but events straddling midnight emit samples on days
+// after their generation day. Each generation day therefore gets a
+// private collector over the detections it can possibly feed — its own
+// day plus the campaign's maximum event span ("spill horizon") — and
+// days that cannot feed any detection are skipped entirely. The
+// per-day partials are merged into the full collector in day order at
+// the barrier, which reproduces the serial collector's record and
+// VisibleNS ordering exactly.
+func (r *Runner) Collect() *Runner {
+	if !r.detected {
+		r.Detect()
+	}
+	st, c := r.st, r.Campaign
+	workers := r.Cfg.workers()
 	all := append(append([]*core.Detection{}, st.Detections...), st.DetectionsExt...)
 	detsByDay := make(map[int][]*core.Detection)
 	for _, d := range all {
@@ -245,19 +378,21 @@ func Run(cfg Config) *Study {
 			spill = s
 		}
 	}
-	// Pass 2 reuses the pass-1 generator (its day synthesis is a pure
-	// function of the day, and its frozen table is read-only); per-day
-	// collectors resolve candidates against that table, so batch replay
-	// again needs no re-interning. Candidates are pre-resolved serially
-	// here: NameList names come from selectors over observed traffic,
-	// so they are already interned, and this no-op pass guarantees the
-	// concurrent NewCollector calls below only ever read the shared
-	// table even if a future caller feeds names from elsewhere.
+	// Pass 2 streams the same source as pass 1 (synthetic day synthesis
+	// is a pure function of the day; a cached source serves pass-1
+	// batches straight back); per-day collectors resolve candidates
+	// against the source table, so batch replay again needs no
+	// re-interning. Candidates are pre-resolved serially here: NameList
+	// names come from selectors over observed traffic, so they are
+	// already interned, and this no-op pass guarantees the concurrent
+	// NewCollector calls below only ever read the shared table even if
+	// a future caller feeds names from elsewhere.
+	stab := r.Src.Table()
 	for n := range st.NameList.Names {
-		gtab.Intern(n)
+		stab.Intern(n)
 	}
-	dayCols := make([]*core.Collector, len(days))
-	forEachDay(days, workers, func(worker, i int, day simclock.Time) {
+	dayCols := make([]*core.Collector, len(r.days))
+	forEachDay(r.days, workers, func(worker, i int, day simclock.Time) {
 		var dets []*core.Detection
 		for d := day.Day(); d <= day.Day()+spill; d++ {
 			dets = append(dets, detsByDay[d]...)
@@ -265,13 +400,12 @@ func Run(cfg Config) *Study {
 		if len(dets) == 0 {
 			return
 		}
-		col := core.NewCollector(gtab, dets, st.NameList.Names)
-		cap2 := ixp.NewCapturePoint(c.Topo, gtab)
-		dt := gen.Day(day)
-		cap2.ConsumeBatch(dt.Batch, func(s *ixp.DNSSample) { col.Observe(s) })
+		col := core.NewCollector(stab, dets, st.NameList.Names)
+		cap2 := ixp.NewCapturePoint(c.Topo, stab)
+		cap2.ConsumeBatch(r.Src.Day(day), func(s *ixp.DNSSample) { col.Observe(s) })
 		dayCols[i] = col
 	})
-	col := core.NewCollector(gtab, all, st.NameList.Names)
+	col := core.NewCollector(stab, all, st.NameList.Names)
 	for _, dc := range dayCols {
 		if dc != nil {
 			col.Merge(dc)
@@ -282,10 +416,11 @@ func Run(cfg Config) *Study {
 	})
 	st.Records = col.Records()
 	st.VisibleNS = col.VisibleNS
-	return st
+	r.collected = true
+	return r
 }
 
-// DetectionDays returns the set of detected (victim, day) keys in the
+// DetectionKeys returns the set of detected (victim, day) keys in the
 // main window.
 func (st *Study) DetectionKeys() map[core.ClientDay]bool {
 	out := make(map[core.ClientDay]bool, len(st.Detections))
@@ -295,7 +430,7 @@ func (st *Study) DetectionKeys() map[core.ClientDay]bool {
 	return out
 }
 
-// AllRecords returns pass-2 records indexed by (victim, day).
+// RecordIndex returns pass-2 records indexed by (victim, day).
 func (st *Study) RecordIndex() map[core.ClientDay]*core.AttackRecord {
 	out := make(map[core.ClientDay]*core.AttackRecord, len(st.Records))
 	for _, r := range st.Records {

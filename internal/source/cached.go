@@ -1,0 +1,133 @@
+package source
+
+import (
+	"container/list"
+	"sync"
+
+	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/names"
+	"dnsamp/internal/simclock"
+)
+
+// Cached wraps a Source with a bounded day-batch cache so multi-pass
+// consumers stop regenerating days: the pipeline's pass 2 revisits the
+// days pass 1 already materialized, and with an unbounded cache its day
+// generation disappears entirely.
+//
+// When bounded, the cache evicts the most recently touched resident day
+// rather than the least recent: the dominant access pattern is repeated
+// ascending scans (pass 1 then pass 2), where LRU degenerates to
+// sequential flooding — every day is evicted long before the next pass
+// revisits it, yielding zero hits at any capacity below the day count.
+// Keeping the oldest resident days instead gives the next ascending
+// scan roughly one reused day per slot of capacity.
+//
+// Batches are immutable, so a cache hit returns the very batch (and
+// sensor-flow slice) the inner source produced — results are
+// byte-identical with and without the cache at every concurrency level.
+// Concurrent misses on distinct days materialize in parallel; concurrent
+// requests for the same day share one materialization (the inner source
+// is asked once per resident day).
+type Cached struct {
+	src Source
+	// capacity bounds resident days; <= 0 means unbounded.
+	capacity int
+
+	mu      sync.Mutex
+	entries map[simclock.Time]*list.Element
+	order   *list.List // front = most recently touched; holds *cacheEntry
+
+	// stats (guarded by mu).
+	hits, misses, evictions int
+}
+
+// cacheEntry is one resident day. ready is closed once batch/sensors
+// are filled; waiters block on it outside the cache lock so one slow
+// materialization never serializes the others.
+type cacheEntry struct {
+	day     simclock.Time
+	ready   chan struct{}
+	batch   *ixp.SampleBatch
+	sensors []ecosystem.SensorFlow
+}
+
+// NewCached wraps src with a cache holding at most capacity days
+// (bounded mode retains the oldest resident days; see the type
+// comment); capacity <= 0 means unbounded (every day generated at most
+// once).
+func NewCached(src Source, capacity int) *Cached {
+	return &Cached{
+		src:      src,
+		capacity: capacity,
+		entries:  make(map[simclock.Time]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Table forwards to the inner source.
+func (c *Cached) Table() *names.Table { return c.src.Table() }
+
+// Days forwards to the inner source.
+func (c *Cached) Days() []simclock.Time { return c.src.Days() }
+
+// Day returns the day's batch, serving repeats from the cache.
+func (c *Cached) Day(day simclock.Time) *ixp.SampleBatch {
+	b, _ := c.DayFlows(day)
+	return b
+}
+
+// DayFlows returns the day's batch and sensor flows, serving repeats
+// from the cache.
+func (c *Cached) DayFlows(day simclock.Time) (*ixp.SampleBatch, []ecosystem.SensorFlow) {
+	day = day.StartOfDay()
+	c.mu.Lock()
+	if el, ok := c.entries[day]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.batch, e.sensors
+	}
+	e := &cacheEntry{day: day, ready: make(chan struct{})}
+	c.entries[day] = c.order.PushFront(e)
+	c.misses++
+	c.evictLocked()
+	c.mu.Unlock()
+
+	e.batch, e.sensors = c.src.DayFlows(day)
+	close(e.ready)
+	return e.batch, e.sensors
+}
+
+// evictLocked trims the cache to capacity by dropping the most recently
+// touched ready entries (front of the recency order; see the type
+// comment for why not LRU). Entries still being materialized are
+// skipped — their waiters hold references — so the overshoot is bounded
+// by the number of concurrent misses.
+func (c *Cached) evictLocked() {
+	if c.capacity <= 0 {
+		return
+	}
+	for el := c.order.Front(); el != nil && c.order.Len() > c.capacity; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		select {
+		case <-e.ready:
+			c.order.Remove(el)
+			delete(c.entries, e.day)
+			c.evictions++
+		default: // still materializing; keep
+		}
+		el = next
+	}
+}
+
+// Stats reports cache effectiveness counters: hits, misses (= inner
+// generations), and evictions.
+func (c *Cached) Stats() (hits, misses, evictions int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

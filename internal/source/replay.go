@@ -1,0 +1,117 @@
+package source
+
+import (
+	"slices"
+
+	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/names"
+	"dnsamp/internal/simclock"
+)
+
+// Replay serves pre-recorded traffic: day batches captured from another
+// source (Record), batches handed in directly (AddDay), or raw sampled
+// sflow frames sanitized at ingest time (AddFrames). It is the
+// first non-synthetic workload: anything that can produce sampled
+// frames — a pcap reader, an sFlow collector, a previous run's dump —
+// feeds the detection pipeline through it.
+//
+// Populate a Replay fully before streaming from it: the Add methods are
+// not safe concurrently with Day/DayFlows, but a populated Replay is
+// read-only and safe for any number of concurrent readers.
+type Replay struct {
+	tab   *names.Table
+	days  []simclock.Time
+	byDay map[simclock.Time]*replayDay
+}
+
+type replayDay struct {
+	batch   *ixp.SampleBatch
+	sensors []ecosystem.SensorFlow
+}
+
+// NewReplay creates an empty replay source interning names into tab
+// (a fresh table when nil).
+func NewReplay(tab *names.Table) *Replay {
+	if tab == nil {
+		tab = names.NewTable()
+	}
+	return &Replay{tab: tab, byDay: make(map[simclock.Time]*replayDay)}
+}
+
+// Record materializes every day of src into a Replay: a snapshot that
+// can be streamed any number of times without regenerating (batches are
+// shared with src, not copied).
+func Record(src Source) *Replay {
+	r := NewReplay(src.Table())
+	for _, day := range src.Days() {
+		b, flows := src.DayFlows(day)
+		r.AddDay(day, b, flows)
+	}
+	return r
+}
+
+// AddDay stores one recorded day. The batch's table need not be the
+// replay table: consumers remap through ixp.CapturePoint.ConsumeBatch.
+// Adding the same day twice replaces it.
+func (r *Replay) AddDay(day simclock.Time, batch *ixp.SampleBatch, sensors []ecosystem.SensorFlow) {
+	day = day.StartOfDay()
+	if _, ok := r.byDay[day]; !ok {
+		r.days = append(r.days, day)
+		slices.Sort(r.days)
+	}
+	r.byDay[day] = &replayDay{batch: batch, sensors: sensors}
+}
+
+// AddFrames sanitizes raw sampled frames into one day's batch: each
+// frame runs through the capture-point decoding and well-formedness
+// checks of §3.1 (drops accounted in the batch counters), survivors are
+// appended in arrival order with their ingress-port tags preserved.
+// AS annotation is not baked in — it happens at consumption time, so a
+// recorded day can be replayed against any routing substrate.
+func (r *Replay) AddFrames(day simclock.Time, recs []ecosystem.TaggedRecord, sensors []ecosystem.SensorFlow) {
+	cp := ixp.NewCapturePoint(nil, r.tab)
+	b := &ixp.SampleBatch{Table: r.tab}
+	b.Grow(len(recs))
+	for _, tr := range recs {
+		s, ok := cp.Process(tr.Rec)
+		if !ok {
+			continue
+		}
+		b.AppendSample(&s, tr.Ingress)
+	}
+	b.Frames = cp.Stats.Frames
+	b.NonUDP = cp.Stats.NonUDP
+	b.NonDNS = cp.Stats.NonDNS
+	b.Malformed = cp.Stats.Malformed
+	r.AddDay(day, b, sensors)
+}
+
+// Table returns the replay's interning space.
+func (r *Replay) Table() *names.Table { return r.tab }
+
+// Days lists the recorded days in chronological order.
+func (r *Replay) Days() []simclock.Time { return r.days }
+
+// Day returns the recorded batch for day, nil when the day was never
+// recorded.
+func (r *Replay) Day(day simclock.Time) *ixp.SampleBatch {
+	b, _ := r.DayFlows(day)
+	return b
+}
+
+// DayFlows returns the recorded batch and sensor flows for day.
+func (r *Replay) DayFlows(day simclock.Time) (*ixp.SampleBatch, []ecosystem.SensorFlow) {
+	rd, ok := r.byDay[day.StartOfDay()]
+	if !ok {
+		return nil, nil
+	}
+	return rd.batch, rd.sensors
+}
+
+// compile-time interface checks for all three adapters.
+var (
+	_ Source = (*Synthetic)(nil)
+	_ Source = (*Cached)(nil)
+	_ Source = (*Replay)(nil)
+)

@@ -1,0 +1,101 @@
+// Package source decouples traffic acquisition from detection: the §4
+// pipeline is source-agnostic — it consumes sampled IXP flows wherever
+// they come from — so every consumer (the offline study engine, the
+// live monitor, the CLI binaries) streams day batches through the
+// Source interface instead of hardwiring ecosystem.Generator.
+//
+// Three adapters cover the current workloads:
+//
+//   - Synthetic wraps the campaign traffic generator, preserving its
+//     purity contract (each day a pure function of (campaign, seed,
+//     day), safe for concurrent materialization).
+//   - Cached wraps any Source with a bounded day-batch cache so
+//     multi-pass consumers (the pipeline's pass 2) stop regenerating
+//     days.
+//   - Replay serves pre-recorded day batches or sanitized sflow frames,
+//     the first non-synthetic workload.
+//
+// Sources hand out immutable batches: consumers replay them through
+// ixp.CapturePoint.ConsumeBatch (which never writes to a batch), so one
+// materialized day may be shared by any number of passes and workers.
+package source
+
+import (
+	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/names"
+	"dnsamp/internal/simclock"
+)
+
+// Source is a stream of daily sampled IXP traffic plus the honeypot-side
+// sensor flows of the same simulated days.
+//
+// Implementations must be safe for concurrent Day/DayFlows calls on
+// distinct or identical days: the pipeline's worker pool materializes
+// many days at once.
+type Source interface {
+	// Table is the name-interning space of every batch the source
+	// emits (SampleBatch.Table). Consumers that aggregate directly in
+	// this space skip per-sample remapping entirely.
+	Table() *names.Table
+
+	// Days lists the start-of-day times this source can materialize,
+	// in chronological order.
+	Days() []simclock.Time
+
+	// Day materializes one day's sampled IXP traffic. The returned
+	// batch is immutable and may be shared; it is nil (or empty) for
+	// days the source has nothing for.
+	Day(day simclock.Time) *ixp.SampleBatch
+
+	// DayFlows materializes one day's batch together with its honeypot
+	// sensor flows. For synthetic sources both are drawn from the same
+	// per-day RNG stream, so consumers needing both must use this
+	// method rather than pairing Day with a second generation.
+	DayFlows(day simclock.Time) (*ixp.SampleBatch, []ecosystem.SensorFlow)
+}
+
+// DaysOf collects the start-of-day times of a window, the canonical
+// Days() value for window-shaped sources.
+func DaysOf(w simclock.Window) []simclock.Time {
+	days := make([]simclock.Time, 0, w.Days())
+	w.EachDay(func(day simclock.Time) { days = append(days, day) })
+	return days
+}
+
+// Synthetic adapts ecosystem.Generator to the Source interface over a
+// fixed simulated window. It adds no state of its own: every call
+// forwards to the generator, whose day synthesis is a pure function of
+// (campaign, seed, day), so Synthetic inherits the generator's
+// determinism and concurrency contract.
+type Synthetic struct {
+	Gen    *ecosystem.Generator
+	window simclock.Window
+	days   []simclock.Time
+}
+
+// NewSynthetic wraps a generator as a Source streaming the days of w.
+func NewSynthetic(gen *ecosystem.Generator, w simclock.Window) *Synthetic {
+	return &Synthetic{Gen: gen, window: w, days: DaysOf(w)}
+}
+
+// Table returns the generator's frozen interning table.
+func (s *Synthetic) Table() *names.Table { return s.Gen.Table() }
+
+// Window returns the simulated window the source streams.
+func (s *Synthetic) Window() simclock.Window { return s.window }
+
+// Days lists the start-of-day times of the source's window.
+func (s *Synthetic) Days() []simclock.Time { return s.days }
+
+// Day materializes one day's sampled IXP batch.
+func (s *Synthetic) Day(day simclock.Time) *ixp.SampleBatch {
+	return s.Gen.Day(day).Batch
+}
+
+// DayFlows materializes one day's batch and sensor flows from a single
+// generation (one per-day RNG stream).
+func (s *Synthetic) DayFlows(day simclock.Time) (*ixp.SampleBatch, []ecosystem.SensorFlow) {
+	dt := s.Gen.Day(day)
+	return dt.Batch, dt.Sensors
+}

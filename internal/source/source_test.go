@@ -1,0 +1,231 @@
+package source_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/simclock"
+	"dnsamp/internal/source"
+	"dnsamp/internal/topology"
+)
+
+// tinyCampaign builds a small deterministic campaign for source tests.
+func tinyCampaign(t *testing.T) *ecosystem.Campaign {
+	t.Helper()
+	cfg := ecosystem.DefaultCampaignConfig(0.01)
+	cfg.Zones.ProceduralNames = 20_000
+	cfg.Topology = topology.Config{Members: 24, ASesPerClass: 40, Seed: 1}
+	return ecosystem.NewCampaign(cfg)
+}
+
+func testWindow() simclock.Window {
+	return simclock.Window{
+		Start: simclock.MeasurementStart,
+		End:   simclock.MeasurementStart.Add(simclock.Days(5)),
+	}
+}
+
+// drain consumes a batch through a fresh capture point, returning the
+// annotated samples (the stream the detection pipeline sees).
+func drain(c *ecosystem.Campaign, b *ixp.SampleBatch) ([]ixp.DNSSample, ixp.CaptureStats) {
+	cp := ixp.NewCapturePoint(c.Topo, nil)
+	var out []ixp.DNSSample
+	cp.ConsumeBatch(b, func(s *ixp.DNSSample) { out = append(out, *s) })
+	return out, cp.Stats
+}
+
+// TestSyntheticSource checks the generator adapter: day listing from
+// the window, and batches identical to direct generator output.
+func TestSyntheticSource(t *testing.T) {
+	c := tinyCampaign(t)
+	w := testWindow()
+	src := source.NewSynthetic(ecosystem.NewGenerator(c, 7), w)
+	gen := ecosystem.NewGenerator(c, 7)
+
+	days := src.Days()
+	if len(days) != w.Days() {
+		t.Fatalf("Days() = %d entries, want %d", len(days), w.Days())
+	}
+	if src.Table() == nil || src.Table() != src.Gen.Table() {
+		t.Fatal("Table() must expose the generator's frozen table")
+	}
+	for _, day := range days {
+		want := gen.Day(day)
+		batch, flows := src.DayFlows(day)
+		if !reflect.DeepEqual(want.Batch, batch) {
+			t.Fatalf("day %s: DayFlows batch differs from Generator.Day", day.Date())
+		}
+		if !reflect.DeepEqual(want.Sensors, flows) {
+			t.Fatalf("day %s: sensor flows differ", day.Date())
+		}
+		if !reflect.DeepEqual(want.Batch, src.Day(day)) {
+			t.Fatalf("day %s: Day batch differs", day.Date())
+		}
+	}
+}
+
+// TestCachedEvictionAndDeterminism drives the bounded cache through
+// hits, misses and evictions — the policy drops the most recently
+// touched resident day, keeping the oldest days so a second ascending
+// scan still reuses them — and checks that cached batches are the
+// uncached ones: pointer-identical on a hit, value-identical after
+// re-generation.
+func TestCachedEvictionAndDeterminism(t *testing.T) {
+	c := tinyCampaign(t)
+	w := testWindow()
+	cached := source.NewCached(source.NewSynthetic(ecosystem.NewGenerator(c, 7), w), 2)
+	ref := source.NewSynthetic(ecosystem.NewGenerator(c, 7), w)
+	days := cached.Days()
+
+	d0 := cached.Day(days[0])
+	d1 := cached.Day(days[1])
+	if h, m, e := cached.Stats(); h != 0 || m != 2 || e != 0 {
+		t.Fatalf("after two cold reads: hits=%d misses=%d evictions=%d", h, m, e)
+	}
+	if got := cached.Day(days[0]); got != d0 {
+		t.Fatal("hit must return the resident batch, not regenerate")
+	}
+	if h, _, _ := cached.Stats(); h != 1 {
+		t.Fatal("repeat read did not count as a hit")
+	}
+	// days[0] is now the most recently touched resident day; overflowing
+	// must evict it — not the older days[1] — so an ascending re-scan
+	// keeps its head.
+	d2 := cached.Day(days[2])
+	if _, m, e := cached.Stats(); m != 3 || e != 1 {
+		t.Fatalf("after overflow: misses=%d evictions=%d, want 3/1", m, e)
+	}
+	if got := cached.Day(days[1]); got != d1 {
+		t.Fatal("oldest resident day must survive the overflow")
+	}
+	d0again := cached.Day(days[0])
+	if d0again == d0 {
+		t.Fatal("evicted day served from cache")
+	}
+	if h, m, e := cached.Stats(); h != 2 || m != 4 || e != 2 {
+		t.Fatalf("final stats: hits=%d misses=%d evictions=%d, want 2/4/2", h, m, e)
+	}
+	// Every batch — cached, evicted-and-regenerated, or fresh — must be
+	// value-identical to the uncached source's output.
+	for i, b := range []*ixp.SampleBatch{d0again, d1, d2} {
+		day := days[i]
+		wantS, wantStats := drain(c, ref.Day(day))
+		gotS, gotStats := drain(c, b)
+		if !reflect.DeepEqual(wantS, gotS) || wantStats != gotStats {
+			t.Fatalf("day %s: cached stream differs from uncached", day.Date())
+		}
+	}
+}
+
+// TestCachedBoundedReuse is the sequential-flooding regression guard: a
+// bounded cache far smaller than the day count must still serve hits to
+// a second ascending scan (roughly one per slot of capacity), which an
+// LRU policy would reduce to zero.
+func TestCachedBoundedReuse(t *testing.T) {
+	c := tinyCampaign(t)
+	w := simclock.Window{
+		Start: simclock.MeasurementStart,
+		End:   simclock.MeasurementStart.Add(simclock.Days(12)),
+	}
+	cached := source.NewCached(source.NewSynthetic(ecosystem.NewGenerator(c, 7), w), 4)
+	for pass := 0; pass < 2; pass++ {
+		for _, day := range cached.Days() {
+			cached.Day(day)
+		}
+	}
+	if h, _, _ := cached.Stats(); h < 3 {
+		h, m, e := cached.Stats()
+		t.Fatalf("second ascending pass reused %d days (misses=%d evictions=%d); want >= capacity-1", h, m, e)
+	}
+}
+
+// TestCachedConcurrent hammers one Cached source from many goroutines
+// (run under -race in CI): same-day requests must share one
+// materialization.
+func TestCachedConcurrent(t *testing.T) {
+	c := tinyCampaign(t)
+	cached := source.NewCached(source.NewSynthetic(ecosystem.NewGenerator(c, 7), testWindow()), 0)
+	days := cached.Days()
+
+	got := make([][]*ixp.SampleBatch, 4)
+	var wg sync.WaitGroup
+	for g := range got {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, day := range days {
+				got[g] = append(got[g], cached.Day(day))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(got); g++ {
+		for i := range days {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d day %d: distinct batch for the same day", g, i)
+			}
+		}
+	}
+	if _, m, _ := cached.Stats(); m != len(days) {
+		t.Fatalf("misses = %d, want one per day (%d)", m, len(days))
+	}
+}
+
+// TestReplayMatchesSynthetic is the non-synthetic-workload proof: a
+// Replay fed recorded wire frames (sanitized at ingest) must stream
+// sample-for-sample exactly what the Synthetic source streams, and a
+// Record snapshot must serve the very same batches.
+func TestReplayMatchesSynthetic(t *testing.T) {
+	c := tinyCampaign(t)
+	w := testWindow()
+	syn := source.NewSynthetic(ecosystem.NewGenerator(c, 7), w)
+	wireGen := ecosystem.NewGenerator(c, 7)
+
+	replay := source.NewReplay(nil)
+	for _, day := range syn.Days() {
+		wd := wireGen.WireDay(day)
+		replay.AddFrames(day, wd.IXP, wd.Sensors)
+	}
+	if !reflect.DeepEqual(replay.Days(), syn.Days()) {
+		t.Fatal("replay day list differs")
+	}
+	for _, day := range syn.Days() {
+		sb, sFlows := syn.DayFlows(day)
+		rb, rFlows := replay.DayFlows(day)
+		wantS, wantStats := drain(c, sb)
+		gotS, gotStats := drain(c, rb)
+		if len(wantS) != len(gotS) {
+			t.Fatalf("day %s: %d synthetic samples vs %d replayed", day.Date(), len(wantS), len(gotS))
+		}
+		for i := range wantS {
+			if !reflect.DeepEqual(wantS[i], gotS[i]) {
+				t.Fatalf("day %s sample %d differs:\nsynthetic: %+v\nreplay:    %+v",
+					day.Date(), i, wantS[i], gotS[i])
+			}
+		}
+		if wantStats != gotStats {
+			t.Errorf("day %s: capture stats differ: %+v vs %+v", day.Date(), wantStats, gotStats)
+		}
+		if !reflect.DeepEqual(sFlows, rFlows) {
+			t.Errorf("day %s: sensor flows differ", day.Date())
+		}
+	}
+
+	// Record: a snapshot of another source shares its batches.
+	rec := source.Record(syn)
+	for _, day := range syn.Days() {
+		if b := rec.Day(day); b == nil || b.N != syn.Day(day).N {
+			t.Fatalf("day %s: recorded batch missing or truncated", day.Date())
+		}
+	}
+	if rec.Table() != syn.Table() {
+		t.Error("Record must keep the source's interning table")
+	}
+	// Unknown days are absent, not invented.
+	if b := rec.Day(w.End.Add(simclock.Days(3))); b != nil {
+		t.Error("unrecorded day must return a nil batch")
+	}
+}
