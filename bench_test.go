@@ -417,6 +417,57 @@ func BenchmarkBatchConsume(b *testing.B) {
 	}
 }
 
+// BenchmarkObserveBatch measures the batch-native pass-1 loop that
+// replaced the per-sample callback path: RemapBatch (stats + routing
+// coverage over the AS cache) feeding Aggregator.ObserveBatch directly.
+// The delta against BenchmarkBatchConsume is what batch-native
+// aggregation buys per day of traffic.
+func BenchmarkObserveBatch(b *testing.B) {
+	cfg := ecosystem.DefaultCampaignConfig(0.01)
+	cfg.Zones.ProceduralNames = 20_000
+	c := ecosystem.NewCampaign(cfg)
+	g := ecosystem.NewGenerator(c, 7)
+	dt := g.Day(simclock.MeasurementStart.Add(simclock.Days(10)))
+	cap := ixp.NewCapturePoint(c.Topo, g.Table())
+	ag := core.NewAggregator(g.Table(), c.DB.ExplicitNames())
+	ag.ObserveBatch(cap.RemapBatch(dt.Batch))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ag.ObserveBatch(cap.RemapBatch(dt.Batch))
+	}
+}
+
+// BenchmarkDetectColumnar measures the threshold scan over the flat
+// client-day arena: candidate resolution into the dense mark column,
+// the cand/total column fill, and the branch-light integer pass.
+func BenchmarkDetectColumnar(b *testing.B) {
+	cfg := ecosystem.DefaultCampaignConfig(0.01)
+	cfg.Zones.ProceduralNames = 20_000
+	c := ecosystem.NewCampaign(cfg)
+	g := ecosystem.NewGenerator(c, 7)
+	cap := ixp.NewCapturePoint(c.Topo, g.Table())
+	ag := core.NewAggregator(g.Table(), c.DB.ExplicitNames())
+	for d := 0; d < 7; d++ {
+		dt := g.Day(simclock.MeasurementStart.Add(simclock.Days(10 + d)))
+		ag.ObserveBatch(cap.RemapBatch(dt.Batch))
+	}
+	ag.CanonicalizeClients()
+	cands := map[string]bool{}
+	for _, n := range c.DB.MisusedCandidates() {
+		cands[n] = true
+	}
+	th := core.DefaultThresholds()
+	if len(core.Detect(ag, cands, th)) == 0 {
+		b.Fatal("benchmark sweep found no detections")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Detect(ag, cands, th)
+	}
+}
+
 // benchPipelineConfig is the shared configuration of the serial/parallel
 // pipeline pair; BENCH_*.json tracks their ratio as the sharding speedup.
 func benchPipelineConfig() pipeline.Config {

@@ -89,7 +89,7 @@ func ComputeTrafficShares(ag *core.Aggregator, dets []*core.Detection) *TrafficS
 	res := &TrafficShares{}
 	var atkPkts, atkBytes, atkANYPkts, atkANYBytes int
 	for _, d := range dets {
-		ca := ag.Clients[core.ClientDay{Client: d.Victim, Day: d.Day}]
+		ca := ag.ClientOf(core.ClientDay{Client: d.Victim, Day: d.Day})
 		if ca == nil {
 			continue
 		}

@@ -12,13 +12,19 @@
 //  3. Attack detection (detect.go): the traffic-share and minimum-packet
 //     thresholds, grouping packets into attack events.
 //
-// The hot path operates on interned name IDs (internal/names): per-name
-// state is a dense ID-indexed slice, per-client tracked names are short
-// sorted ID lists, and candidate membership is a bitset. Strings appear
-// only at report boundaries.
+// The hot path is batch-native and operates on interned name IDs
+// (internal/names): ObserveBatch accumulates directly over the columns
+// of an ixp.SampleBatch, per-name state is a dense ID-indexed slice, and
+// per-client state lives in a flat client-day arena addressed through an
+// open-addressed index (clientIndex) — per packet, one hash probe and an
+// array write instead of a map lookup and a pointer chase. Per-client
+// tracked names are short sorted ID lists, candidate membership is a
+// dense column, and strings appear only at report boundaries.
 package core
 
 import (
+	"slices"
+
 	"dnsamp/internal/dnswire"
 	"dnsamp/internal/ixp"
 	"dnsamp/internal/names"
@@ -30,6 +36,29 @@ import (
 type ClientDay struct {
 	Client [4]byte
 	Day    int // days since epoch
+}
+
+// hashKey folds the pair into the keyspace of the client index: the
+// address in the high word, the epoch day in the low word, finished with
+// a splitmix64-style mixer so sequential days and adjacent addresses
+// spread across the table.
+func (k ClientDay) hashKey() uint32 {
+	x := uint64(k.Client[0])<<56 | uint64(k.Client[1])<<48 |
+		uint64(k.Client[2])<<40 | uint64(k.Client[3])<<32 |
+		uint64(uint32(k.Day))
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	return uint32(x >> 32)
+}
+
+// less orders client-day keys by (day, client address) — the order
+// Detect reports in and the canonical arena order.
+func (k ClientDay) less(o ClientDay) int {
+	if k.Day != o.Day {
+		return k.Day - o.Day
+	}
+	return cmpAddr(k.Client, o.Client)
 }
 
 // NameCount is one (interned name, packet count) entry.
@@ -108,10 +137,35 @@ type NameStats struct {
 	Packets int
 }
 
+// clientIndex is the dense client-day index: an open-addressed
+// (linear-probe) hash table mapping epoch-keyed ClientDay pairs to slots
+// of the aggregator's flat client-day arena. ctrl holds slot+1 (0 marks
+// an empty bucket); keys live once, in the aggregator's arena-parallel
+// key column, so a probe costs one control load plus one key compare.
+// Entries are never deleted, and the layout is a deterministic function
+// of the insertion sequence (Canonicalize rebuilds it from the sorted
+// arena, making it independent of sharding too).
+type clientIndex struct {
+	ctrl []uint32 // slot+1; 0 = empty
+	mask uint32
+	n    int
+}
+
+// indexSizeFor returns the deterministic table size for n entries: the
+// smallest power of two (≥ 16) keeping load at or below 3/4.
+func indexSizeFor(n int) int {
+	size := 16
+	for n*4 > size*3 {
+		size <<= 1
+	}
+	return size
+}
+
 // Aggregator is the streaming pass-1 state. Per-name state is indexed
 // by the interned name IDs of Table; workers run private aggregators
 // over worker-local tables and fold them with Merge + Canonicalize at
-// the stage barrier.
+// the stage barrier. An Aggregator is a single-writer structure; it is
+// not safe for concurrent method calls.
 type Aggregator struct {
 	// Table is the name-ID space of all per-name state. Samples
 	// observed must carry Name IDs of this table (i.e. come from a
@@ -126,10 +180,19 @@ type Aggregator struct {
 	tracked []bool
 
 	// names holds per-name stats indexed by ID; entries beyond the
-	// slice are implicitly zero.
-	names []NameStats
+	// slice are implicitly zero. numNames counts the entries with
+	// observed packets (kept incrementally; re-scanning per report was
+	// measurable inside the experiments loop).
+	names    []NameStats
+	numNames int
 
-	Clients map[ClientDay]*ClientAgg
+	// arena is the flat client-day store: one ClientAgg per observed
+	// (client, day) pair, appended in first-observation order and
+	// re-sorted into (day, client) order by Canonicalize. arenaKeys is
+	// the arena-parallel key column; idx maps keys to arena slots.
+	arena     []ClientAgg
+	arenaKeys []ClientDay
+	idx       clientIndex
 
 	// Samples counts accepted DNS samples.
 	Samples int
@@ -140,6 +203,13 @@ type Aggregator struct {
 	// ANYPackets / ANYBytes cover the type-ANY subset globally.
 	ANYPackets int
 	ANYBytes   int
+
+	// Detect scratch columns, reused across calls so the threshold scan
+	// allocates nothing in steady state (see Detect).
+	detMark []bool
+	detCand []uint32
+	detTot  []uint32
+	detHits []uint32
 }
 
 // NewAggregator creates an aggregator over the given interning table (a
@@ -150,10 +220,7 @@ func NewAggregator(tab *names.Table, trackNames []string) *Aggregator {
 	if tab == nil {
 		tab = names.NewTable()
 	}
-	ag := &Aggregator{
-		Table:   tab,
-		Clients: make(map[ClientDay]*ClientAgg),
-	}
+	ag := &Aggregator{Table: tab}
 	for _, n := range trackNames {
 		ag.setTracked(tab.Intern(dnswire.CanonicalName(n)))
 	}
@@ -201,19 +268,161 @@ func (ag *Aggregator) NameStatsOf(name string) NameStats {
 }
 
 // NumNames returns the number of names with observed traffic.
-func (ag *Aggregator) NumNames() int {
-	n := 0
-	for i := range ag.names {
-		if ag.names[i].Packets > 0 {
-			n++
-		}
+func (ag *Aggregator) NumNames() int { return ag.numNames }
+
+// clientFor returns the arena profile of key, appending a zeroed slot on
+// first sight (isNew true: the caller must initialize First/Last). The
+// returned pointer is valid until the next arena growth.
+func (ag *Aggregator) clientFor(key ClientDay) (ca *ClientAgg, isNew bool) {
+	ix := &ag.idx
+	if ix.ctrl == nil {
+		ix.ctrl = make([]uint32, indexSizeFor(0))
+		ix.mask = uint32(len(ix.ctrl) - 1)
 	}
-	return n
+	i := key.hashKey() & ix.mask
+	for {
+		c := ix.ctrl[i]
+		if c == 0 {
+			slot := uint32(len(ag.arena))
+			if len(ag.arena) == cap(ag.arena) {
+				// Double explicitly: the runtime's large-slice growth
+				// factor (~1.25x) would copy the arena about twice as
+				// often, and this append is the hot path's only grower.
+				grown := make([]ClientAgg, len(ag.arena), 2*cap(ag.arena)+16)
+				copy(grown, ag.arena)
+				ag.arena = grown
+				gk := make([]ClientDay, len(ag.arenaKeys), 2*cap(ag.arenaKeys)+16)
+				copy(gk, ag.arenaKeys)
+				ag.arenaKeys = gk
+			}
+			ag.arena = append(ag.arena, ClientAgg{})
+			ag.arenaKeys = append(ag.arenaKeys, key)
+			ix.ctrl[i] = slot + 1
+			ix.n++
+			if ix.n*4 > len(ix.ctrl)*3 {
+				ag.growIndex()
+			}
+			return &ag.arena[slot], true
+		}
+		if ag.arenaKeys[c-1] == key {
+			return &ag.arena[c-1], false
+		}
+		i = (i + 1) & ix.mask
+	}
+}
+
+// growIndex doubles the probe table and reinserts every arena key. The
+// new layout depends only on the old one, so identical insertion
+// sequences keep identical tables.
+func (ag *Aggregator) growIndex() {
+	ag.rebuildIndex(len(ag.idx.ctrl) * 2)
+}
+
+// rebuildIndex re-keys the probe table over the current arena at the
+// given size (a power of two).
+func (ag *Aggregator) rebuildIndex(size int) {
+	ctrl := make([]uint32, size)
+	mask := uint32(size - 1)
+	for slot, key := range ag.arenaKeys {
+		i := key.hashKey() & mask
+		for ctrl[i] != 0 {
+			i = (i + 1) & mask
+		}
+		ctrl[i] = uint32(slot) + 1
+	}
+	ag.idx.ctrl = ctrl
+	ag.idx.mask = mask
+}
+
+// ClientOf returns the profile of one (client, day) pair, nil when the
+// pair was never observed. The pointer is valid until the aggregator
+// observes more traffic.
+func (ag *Aggregator) ClientOf(key ClientDay) *ClientAgg {
+	ix := &ag.idx
+	if ix.n == 0 {
+		return nil
+	}
+	i := key.hashKey() & ix.mask
+	for {
+		c := ix.ctrl[i]
+		if c == 0 {
+			return nil
+		}
+		if ag.arenaKeys[c-1] == key {
+			return &ag.arena[c-1]
+		}
+		i = (i + 1) & ix.mask
+	}
+}
+
+// NumClients returns the number of observed (client, day) pairs.
+func (ag *Aggregator) NumClients() int { return len(ag.arena) }
+
+// EachClient invokes fn for every observed (client, day) profile, in
+// arena order (canonical (day, client) order after Canonicalize). It is
+// the iteration primitive for reports: a contiguous slice walk, no map
+// materialization.
+func (ag *Aggregator) EachClient(fn func(key ClientDay, ca *ClientAgg)) {
+	for i := range ag.arena {
+		fn(ag.arenaKeys[i], &ag.arena[i])
+	}
+}
+
+// Clients materializes the map view of the client-day arena for report
+// code that wants keyed random access. The map is rebuilt on every call
+// (callers should hold on to it); the *ClientAgg values point into the
+// arena and stay valid until the aggregator observes more traffic.
+func (ag *Aggregator) Clients() map[ClientDay]*ClientAgg {
+	m := make(map[ClientDay]*ClientAgg, len(ag.arena))
+	for i := range ag.arena {
+		m[ag.arenaKeys[i]] = &ag.arena[i]
+	}
+	return m
+}
+
+// observeName folds one packet into the per-name stats column.
+func (ag *Aggregator) observeName(id uint32, size int, isANY, isResp bool) {
+	ns := ag.statsFor(id)
+	if ns.Packets == 0 {
+		ag.numNames++
+	}
+	ns.Packets++
+	if isANY {
+		ns.ANYPackets++
+	}
+	if isResp && size > ns.MaxSize {
+		ns.MaxSize = size
+	}
+}
+
+// observeClient folds one packet into its (client, day) profile.
+func (ag *Aggregator) observeClient(key ClientDay, t simclock.Time, size int, isANY bool, id uint32) {
+	ca, isNew := ag.clientFor(key)
+	if isNew {
+		ca.First, ca.Last = t, t
+	}
+	ca.Total++
+	ca.Bytes += size
+	if isANY {
+		ca.ANYPackets++
+		ca.ANYBytes += size
+	}
+	if t.Before(ca.First) {
+		ca.First = t
+	}
+	if t.After(ca.Last) {
+		ca.Last = t
+	}
+	if ag.isTracked(id) {
+		ca.addTracked(id, 1)
+	}
 }
 
 // Observe ingests one sanitized sample. The sample's Name ID must be in
 // the aggregator's table space; the hot loop performs no per-packet
-// allocation in steady state.
+// allocation in steady state. ObserveBatch is the batch-native fast
+// path; Observe remains for per-sample consumers (the live monitor's
+// arrival-order processing, frame-level replay).
 func (ag *Aggregator) Observe(s *ixp.DNSSample) {
 	ag.Samples++
 	if !s.IsResponse {
@@ -225,45 +434,184 @@ func (ag *Aggregator) Observe(s *ixp.DNSSample) {
 		ag.ANYPackets++
 		ag.ANYBytes += s.MsgSize
 	}
-
-	ns := ag.statsFor(s.Name)
-	ns.Packets++
-	if isANY {
-		ns.ANYPackets++
-	}
-	if s.IsResponse && s.MsgSize > ns.MaxSize {
-		ns.MaxSize = s.MsgSize
-	}
-
+	ag.observeName(s.Name, s.MsgSize, isANY, s.IsResponse)
 	key := ClientDay{Client: s.ClientAddr(), Day: s.Time.Day()}
-	ca := ag.Clients[key]
-	if ca == nil {
-		ca = &ClientAgg{First: s.Time, Last: s.Time}
-		ag.Clients[key] = ca
+	ag.observeClient(key, s.Time, s.MsgSize, isANY, s.Name)
+}
+
+// observeRow ingests one batch row — the row-wise twin of ObserveBatch's
+// columnar loops, used for window-straddling batches.
+func (ag *Aggregator) observeRow(b *ixp.SampleBatch, i int) {
+	ag.Samples++
+	if !b.Resp[i] {
+		ag.Requests++
 	}
-	ca.Total++
-	ca.Bytes += s.MsgSize
+	size := int(b.MsgSize[i])
+	ag.TotalBytes += size
+	isANY := b.QType[i] == dnswire.TypeANY
 	if isANY {
-		ca.ANYPackets++
-		ca.ANYBytes += s.MsgSize
+		ag.ANYPackets++
+		ag.ANYBytes += size
 	}
-	if s.Time.Before(ca.First) {
-		ca.First = s.Time
+	ag.observeName(b.Name[i], size, isANY, b.Resp[i])
+	client := b.Src[i]
+	if b.Resp[i] {
+		client = b.Dst[i]
 	}
-	if s.Time.After(ca.Last) {
-		ca.Last = s.Time
+	key := ClientDay{Client: client, Day: b.Time[i].Day()}
+	ag.observeClient(key, b.Time[i], size, isANY, b.Name[i])
+}
+
+// ObserveBatch ingests a whole columnar batch: global counters as
+// straight column sums, per-name stats as an ID-indexed slice walk, and
+// per-client state through the dense client-day index. The batch's Name
+// column must be in the aggregator's table space (feed foreign batches
+// through ixp.CapturePoint.RemapBatch first). The result is exactly the
+// state of calling Observe on every row in order; the batch loops
+// allocate nothing in steady state.
+func (ag *Aggregator) ObserveBatch(b *ixp.SampleBatch) {
+	if b == nil || b.N == 0 {
+		return
 	}
-	if ag.isTracked(s.Name) {
-		ca.addTracked(s.Name, 1)
+	n := b.N
+
+	// Global counters: independent single-column passes the compiler
+	// can keep in registers (and auto-vectorize where profitable).
+	ag.Samples += n
+	req := 0
+	for _, r := range b.Resp[:n] {
+		if !r {
+			req++
+		}
+	}
+	ag.Requests += req
+	var total int64
+	for _, sz := range b.MsgSize[:n] {
+		total += int64(sz)
+	}
+	ag.TotalBytes += int(total)
+	anyPkts := 0
+	var anyBytes int64
+	for i, qt := range b.QType[:n] {
+		if qt == dnswire.TypeANY {
+			anyPkts++
+			anyBytes += int64(b.MsgSize[i])
+		}
+	}
+	ag.ANYPackets += anyPkts
+	ag.ANYBytes += int(anyBytes)
+
+	// Per-name stats: one walk over the ID column into the dense slice.
+	for i, id := range b.Name[:n] {
+		ag.observeName(id, int(b.MsgSize[i]), b.QType[i] == dnswire.TypeANY, b.Resp[i])
+	}
+
+	// Per-client profiles. Attack flows emit bursts of rows for one
+	// (client, day), so a one-entry memo skips the index probe on
+	// consecutive repeats; the memo pointer is refreshed on every probe,
+	// which is also when the arena can grow.
+	var lastKey ClientDay
+	var lastCA *ClientAgg
+	for i := 0; i < n; i++ {
+		client := b.Src[i]
+		if b.Resp[i] {
+			client = b.Dst[i]
+		}
+		t := b.Time[i]
+		key := ClientDay{Client: client, Day: t.Day()}
+		ca := lastCA
+		if ca == nil || key != lastKey {
+			var isNew bool
+			ca, isNew = ag.clientFor(key)
+			if isNew {
+				ca.First, ca.Last = t, t
+			}
+			lastKey, lastCA = key, ca
+		}
+		ca.Total++
+		size := int(b.MsgSize[i])
+		ca.Bytes += size
+		if b.QType[i] == dnswire.TypeANY {
+			ca.ANYPackets++
+			ca.ANYBytes += size
+		}
+		if t.Before(ca.First) {
+			ca.First = t
+		}
+		if t.After(ca.Last) {
+			ca.Last = t
+		}
+		if ag.isTracked(b.Name[i]) {
+			ca.addTracked(b.Name[i], 1)
+		}
+	}
+}
+
+// ObserveBatchWindow ingests the batch rows whose timestamps fall inside
+// (inside true) or outside (inside false) the window. Batches fully on
+// one side of the boundary (the common case; a time-bounds pass
+// decides) take the unconditional ObserveBatch path; straddling batches
+// fall back to a filtered row loop. Callers splitting one batch between
+// two aggregators should use ObserveBatchSplit, which shares the
+// time-bounds pass.
+func (ag *Aggregator) ObserveBatchWindow(b *ixp.SampleBatch, w simclock.Window, inside bool) {
+	if b == nil || b.N == 0 {
+		return
+	}
+	minT, maxT := batchTimeBounds(b)
+	ag.observeBatchBounded(b, w, inside, minT, maxT)
+}
+
+// ObserveBatchSplit splits one batch between two aggregators at the
+// window boundary — rows inside w go to in, every other row to out —
+// the pipeline's main/extended-window fan-out. One time-bounds pass
+// classifies the batch for both sides.
+func ObserveBatchSplit(in, out *Aggregator, b *ixp.SampleBatch, w simclock.Window) {
+	if b == nil || b.N == 0 {
+		return
+	}
+	minT, maxT := batchTimeBounds(b)
+	in.observeBatchBounded(b, w, true, minT, maxT)
+	out.observeBatchBounded(b, w, false, minT, maxT)
+}
+
+func batchTimeBounds(b *ixp.SampleBatch) (minT, maxT simclock.Time) {
+	minT, maxT = b.Time[0], b.Time[0]
+	for _, t := range b.Time[1:b.N] {
+		if t.Before(minT) {
+			minT = t
+		}
+		if t.After(maxT) {
+			maxT = t
+		}
+	}
+	return minT, maxT
+}
+
+func (ag *Aggregator) observeBatchBounded(b *ixp.SampleBatch, w simclock.Window, inside bool, minT, maxT simclock.Time) {
+	allIn := !minT.Before(w.Start) && maxT.Before(w.End)
+	noneIn := maxT.Before(w.Start) || !minT.Before(w.End)
+	switch {
+	case inside && allIn, !inside && noneIn:
+		ag.ObserveBatch(b)
+		return
+	case inside && noneIn, !inside && allIn:
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		if w.Contains(b.Time[i]) == inside {
+			ag.observeRow(b, i)
+		}
 	}
 }
 
 // Merge folds another aggregator's state into ag, translating the other
-// aggregator's name IDs into ag's table. Aggregation is commutative
-// (sums, maxima, and time bounds), so merging shards in any order —
-// followed by Canonicalize — yields the same state as a single
-// aggregator observing every sample: the property the parallel pipeline
-// relies on. The other aggregator must not be used afterwards.
+// aggregator's name IDs into ag's table and folding its client-day
+// arena slot-wise through ag's index. Aggregation is commutative (sums,
+// maxima, and time bounds), so merging shards in any order — followed
+// by Canonicalize — yields the same state as a single aggregator
+// observing every sample: the property the parallel pipeline relies on.
+// The other aggregator must not be used afterwards.
 func (ag *Aggregator) Merge(other *Aggregator) {
 	if other == nil {
 		return
@@ -294,6 +642,9 @@ func (ag *Aggregator) Merge(other *Aggregator) {
 			continue
 		}
 		ns := ag.statsFor(xl(uint32(id)))
+		if ns.Packets == 0 && ons.Packets > 0 {
+			ag.numNames++
+		}
 		ns.Packets += ons.Packets
 		ns.ANYPackets += ons.ANYPackets
 		if ons.MaxSize > ns.MaxSize {
@@ -301,27 +652,23 @@ func (ag *Aggregator) Merge(other *Aggregator) {
 		}
 	}
 
-	for key, oca := range other.Clients {
-		ca := ag.Clients[key]
-		if ca == nil {
-			cp := *oca
-			cp.Tracked = nil
-			for _, tc := range oca.Tracked {
-				cp.addTracked(xl(tc.ID), tc.N)
+	for slot := range other.arena {
+		oca := &other.arena[slot]
+		ca, isNew := ag.clientFor(other.arenaKeys[slot])
+		if isNew {
+			ca.First, ca.Last = oca.First, oca.Last
+		} else {
+			if oca.First.Before(ca.First) {
+				ca.First = oca.First
 			}
-			ag.Clients[key] = &cp
-			continue
+			if oca.Last.After(ca.Last) {
+				ca.Last = oca.Last
+			}
 		}
 		ca.Total += oca.Total
 		ca.Bytes += oca.Bytes
 		ca.ANYPackets += oca.ANYPackets
 		ca.ANYBytes += oca.ANYBytes
-		if oca.First.Before(ca.First) {
-			ca.First = oca.First
-		}
-		if oca.Last.After(ca.Last) {
-			ca.Last = oca.Last
-		}
 		for _, tc := range oca.Tracked {
 			ca.addTracked(xl(tc.ID), tc.N)
 		}
@@ -329,10 +676,14 @@ func (ag *Aggregator) Merge(other *Aggregator) {
 }
 
 // Canonicalize rebuilds the aggregator over the canonical
-// (lexicographically ordered) table of its observed and tracked names.
-// After canonicalization the aggregator's state is byte-identical for
-// any sharding of the same sample stream, because canonical ID
-// assignment is independent of interning order.
+// (lexicographically ordered) table of its observed and tracked names,
+// and re-sorts the client-day arena into (day, client) order, rebuilding
+// the index from the sorted arena. After canonicalization the
+// aggregator's state is byte-identical for any sharding of the same
+// sample stream: canonical ID assignment is independent of interning
+// order, and the arena order and index layout are functions of the key
+// set alone. The sorted arena is also what lets Detect emit detections
+// in report order with a near-no-op final sort.
 func (ag *Aggregator) Canonicalize() {
 	keep := func(id uint32) bool {
 		if int(id) < len(ag.names) {
@@ -364,20 +715,53 @@ func (ag *Aggregator) Canonicalize() {
 	if !trackedAny {
 		nt = nil
 	}
-	for _, ca := range ag.Clients {
-		for i := range ca.Tracked {
-			ca.Tracked[i].ID = remap[ca.Tracked[i].ID]
+
+	for i := range ag.arena {
+		ca := &ag.arena[i]
+		for j := range ca.Tracked {
+			ca.Tracked[j].ID = remap[ca.Tracked[j].ID]
 		}
 		// Remap preserves no order; restore the sorted-by-ID invariant.
-		for i := 1; i < len(ca.Tracked); i++ {
-			for j := i; j > 0 && ca.Tracked[j-1].ID > ca.Tracked[j].ID; j-- {
-				ca.Tracked[j-1], ca.Tracked[j] = ca.Tracked[j], ca.Tracked[j-1]
+		for j := 1; j < len(ca.Tracked); j++ {
+			for k := j; k > 0 && ca.Tracked[k-1].ID > ca.Tracked[k].ID; k-- {
+				ca.Tracked[k-1], ca.Tracked[k] = ca.Tracked[k], ca.Tracked[k-1]
 			}
 		}
 	}
+	ag.CanonicalizeClients()
+
 	ag.Table = ct
 	ag.names = nn
 	ag.tracked = nt
+}
+
+// CanonicalizeClients re-sorts the client-day arena into (day, client)
+// order and rebuilds the index from the sorted keys, leaving the name
+// table untouched. It is the stage barrier for shards that aggregated
+// in one shared table (the pipeline's steady state since the source
+// table became the common ID space): name IDs are already identical for
+// any sharding there, so the full Canonicalize — which re-interns every
+// observed name to make IDs interning-order-independent — would spend
+// its time rebuilding a table into itself. Shards over worker-local
+// tables still need Canonicalize.
+func (ag *Aggregator) CanonicalizeClients() {
+	order := make([]uint32, len(ag.arena))
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	slices.SortFunc(order, func(a, b uint32) int {
+		return ag.arenaKeys[a].less(ag.arenaKeys[b])
+	})
+	arena := make([]ClientAgg, len(ag.arena))
+	keys := make([]ClientDay, len(ag.arena))
+	for ni, oi := range order {
+		arena[ni] = ag.arena[oi]
+		keys[ni] = ag.arenaKeys[oi]
+	}
+	ag.arena = arena
+	ag.arenaKeys = keys
+	ag.rebuildIndex(indexSizeFor(len(keys)))
+	ag.idx.n = len(keys)
 }
 
 // CandidateSet is the set of candidate (misused) name IDs in one

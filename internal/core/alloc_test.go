@@ -7,6 +7,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 
 	"dnsamp/internal/dnswire"
@@ -34,6 +35,49 @@ func TestObserveZeroAllocSteadyState(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("Observe steady state allocates %.1f times per 3 samples, want 0", allocs)
+	}
+}
+
+// TestObserveBatchZeroAllocSteadyState guards the batch-native
+// aggregation path: once the name slots, client-day arena entries, and
+// tracked lists exist, replaying a whole batch must not allocate — the
+// column sums, the per-name walk, and the client-index probes all run
+// on preexisting storage.
+func TestObserveBatchZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ag := NewAggregator(nil, []string{"evil.example.", "."})
+	b := randomBatch(rng, ag.Table, testNamePool(ag.Table), 600)
+	// Warm pass: creates every slot the measured loop touches.
+	ag.ObserveBatch(b)
+
+	allocs := testing.AllocsPerRun(20, func() { ag.ObserveBatch(b) })
+	if allocs != 0 {
+		t.Errorf("ObserveBatch steady state allocates %.2f per %d-row batch, want 0", allocs, b.N)
+	}
+}
+
+// TestDetectScanZeroAllocSteadyState guards the columnar threshold
+// scan: with the scratch columns warmed, a Detect sweep that emits no
+// detections must not allocate — the candidate marks, the cand/total
+// column fill, and the integer threshold pass all reuse the
+// aggregator's scratch (emitted detections are the only allocation of
+// a hit-bearing sweep).
+func TestDetectScanZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ag := NewAggregator(nil, []string{"evil.example.", "."})
+	for i := 0; i < 3; i++ {
+		ag.ObserveBatch(randomBatch(rng, ag.Table, testNamePool(ag.Table), 500))
+	}
+	ag.CanonicalizeClients()
+	cands := map[string]bool{"evil.example.": true, ".": true}
+	none := Thresholds{MinShare: 0.5, MinPackets: 1 << 30} // scan runs, nothing passes
+	if dets := Detect(ag, cands, none); dets != nil {
+		t.Fatalf("expected no detections, got %d", len(dets))
+	}
+	allocs := testing.AllocsPerRun(20, func() { Detect(ag, cands, none) })
+	if allocs != 0 {
+		t.Errorf("Detect scan steady state allocates %.2f per sweep over %d client-days, want 0",
+			allocs, ag.NumClients())
 	}
 }
 

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/names"
+	"dnsamp/internal/simclock"
+)
+
+// key4 builds a ClientDay from a compact test spec.
+func key4(a, b, c, d byte, day int) ClientDay {
+	return ClientDay{Client: [4]byte{a, b, c, d}, Day: day}
+}
+
+// TestClientIndexGrowRehash drives the index through several doublings
+// and checks that every inserted pair stays findable and distinct pairs
+// get distinct arena slots.
+func TestClientIndexGrowRehash(t *testing.T) {
+	ag := NewAggregator(nil, nil)
+	const n = 5000 // well past several grow thresholds from the initial 16
+	seen := map[ClientDay]*ClientAgg{}
+	for i := 0; i < n; i++ {
+		key := key4(byte(i>>8), byte(i), 7, 1, i%97)
+		ca, isNew := ag.clientFor(key)
+		if !isNew {
+			t.Fatalf("key %v reported as existing on first insert", key)
+		}
+		ca.Total = i + 1
+		seen[key] = ca
+	}
+	if ag.NumClients() != n {
+		t.Fatalf("NumClients = %d, want %d", ag.NumClients(), n)
+	}
+	for i := 0; i < n; i++ {
+		key := key4(byte(i>>8), byte(i), 7, 1, i%97)
+		ca := ag.ClientOf(key)
+		if ca == nil || ca.Total != i+1 {
+			t.Fatalf("key %v lost after rehash: %+v", key, ca)
+		}
+	}
+	if ag.ClientOf(key4(255, 255, 255, 255, 1)) != nil {
+		t.Error("lookup of absent key returned a profile")
+	}
+}
+
+// TestClientIndexDeterminism: identical insertion sequences must yield
+// byte-identical aggregators (arena, keys, and probe-table layout), and
+// different insertion orders must converge after CanonicalizeClients.
+func TestClientIndexDeterminism(t *testing.T) {
+	build := func(perm []int) *Aggregator {
+		ag := NewAggregator(nil, nil)
+		for _, i := range perm {
+			ca, isNew := ag.clientFor(key4(byte(i>>8), byte(i), 3, 9, i%31))
+			if isNew {
+				ca.First = simclock.Time(i)
+				ca.Last = simclock.Time(i)
+			}
+			ca.Total++
+		}
+		return ag
+	}
+	fwd := make([]int, 800)
+	for i := range fwd {
+		fwd[i] = i
+	}
+	if a, b := build(fwd), build(fwd); !reflect.DeepEqual(a, b) {
+		t.Error("identical insertion sequences produced different aggregators")
+	}
+	rev := make([]int, len(fwd))
+	for i := range rev {
+		rev[i] = len(fwd) - 1 - i
+	}
+	a, b := build(fwd), build(rev)
+	a.CanonicalizeClients()
+	b.CanonicalizeClients()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("canonicalized aggregators differ across insertion orders")
+	}
+	// The canonical arena must be sorted by (day, client).
+	prev := ClientDay{Day: -1 << 30}
+	a.EachClient(func(key ClientDay, _ *ClientAgg) {
+		if prev.less(key) >= 0 {
+			t.Fatalf("canonical arena out of order: %v after %v", key, prev)
+		}
+		prev = key
+	})
+}
+
+// randomBatch synthesizes a randomized sample batch over tab: a small
+// client population (to force shared (client, day) pairs), a name pool
+// with tracked and untracked members, response/ANY mixes, and times
+// spread across several days around the main-window start.
+func randomBatch(rng *rand.Rand, tab *names.Table, pool []uint32, n int) *ixp.SampleBatch {
+	b := &ixp.SampleBatch{Table: tab}
+	b.Grow(n)
+	for i := 0; i < n; i++ {
+		day := rng.Intn(4)
+		tm := simclock.MeasurementStart.Add(simclock.Days(day)).Add(simclock.Duration(rng.Int63n(int64(simclock.Day))))
+		resp := rng.Intn(2) == 0
+		qt := dnswire.TypeA
+		if rng.Intn(3) == 0 {
+			qt = dnswire.TypeANY
+		}
+		client := [4]byte{10, 0, 0, byte(1 + rng.Intn(12))}
+		server := [4]byte{203, 0, 113, byte(1 + rng.Intn(4))}
+		src, dst := client, server
+		if resp {
+			src, dst = server, client
+		}
+		ingress := uint32(0)
+		if !resp && rng.Intn(3) == 0 {
+			ingress = uint32(100 + rng.Intn(5))
+		}
+		b.Append(ixp.BatchRecord{
+			Time:      tm,
+			Src:       src,
+			Dst:       dst,
+			SrcPort:   uint16(1024 + rng.Intn(60000)),
+			DstPort:   53,
+			IPTTL:     uint8(32 + rng.Intn(200)),
+			IPID:      uint16(rng.Intn(1 << 16)),
+			Resp:      resp,
+			Name:      pool[rng.Intn(len(pool))],
+			QType:     qt,
+			TXID:      uint16(rng.Intn(1 << 16)),
+			MsgSize:   int32(40 + rng.Intn(4000)),
+			ANCount:   uint16(rng.Intn(3)),
+			VisibleNS: uint16(rng.Intn(4)),
+			Ingress:   ingress,
+		})
+	}
+	return b
+}
+
+// sampleFromRow materializes one batch row as the DNSSample a capture
+// point (without topology) would hand to Observe, ingress override
+// included.
+func sampleFromRow(tab *names.Table, b *ixp.SampleBatch, i int) *ixp.DNSSample {
+	return &ixp.DNSSample{
+		PeerAS:     b.Ingress[i],
+		Time:       b.Time[i],
+		Src:        b.Src[i],
+		Dst:        b.Dst[i],
+		SrcPort:    b.SrcPort[i],
+		DstPort:    b.DstPort[i],
+		IPTTL:      b.IPTTL[i],
+		IPID:       b.IPID[i],
+		IsResponse: b.Resp[i],
+		Name:       b.Name[i],
+		QName:      tab.Name(b.Name[i]),
+		QType:      b.QType[i],
+		TXID:       b.TXID[i],
+		MsgSize:    int(b.MsgSize[i]),
+		ANCount:    b.ANCount[i],
+		VisibleNS:  int(b.VisibleNS[i]),
+	}
+}
+
+// testNamePool interns a mixed tracked/untracked name pool.
+func testNamePool(tab *names.Table) []uint32 {
+	pool := make([]uint32, 0, 8)
+	for _, n := range []string{
+		"evil.example.", ".", "bulk-a.test.", "bulk-b.test.",
+		"bulk-c.test.", "other.example.", "doj.gov.", "cdn.test.",
+	} {
+		pool = append(pool, tab.Intern(n))
+	}
+	return pool
+}
+
+// TestObserveBatchMatchesObserve is the randomized equivalence guard:
+// for generated batches, ObserveBatch must leave the aggregator in
+// exactly the state of observing every row one sample at a time — the
+// invariant that lets the pipeline swap per-sample callbacks for the
+// columnar path. Exercised in explicit-track and track-all modes.
+func TestObserveBatchMatchesObserve(t *testing.T) {
+	for _, trackAll := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(42))
+		batchAg := NewAggregator(nil, []string{"evil.example.", "."})
+		rowAg := NewAggregator(batchAg.Table, []string{"evil.example.", "."})
+		batchAg.SetTrackAll(trackAll)
+		rowAg.SetTrackAll(trackAll)
+		pool := testNamePool(batchAg.Table)
+		for round := 0; round < 5; round++ {
+			b := randomBatch(rng, batchAg.Table, pool, 400+round*150)
+			batchAg.ObserveBatch(b)
+			for i := 0; i < b.N; i++ {
+				rowAg.Observe(sampleFromRow(rowAg.Table, b, i))
+			}
+			if !reflect.DeepEqual(batchAg, rowAg) {
+				t.Fatalf("trackAll=%v round %d: ObserveBatch state diverged from per-sample Observe", trackAll, round)
+			}
+		}
+	}
+}
+
+// TestObserveBatchWindowMatchesSplit checks the window-split path: the
+// main/extended pair fed through ObserveBatchWindow must match a
+// per-sample split on Window.Contains, for batches entirely inside,
+// entirely outside, and straddling the boundary.
+func TestObserveBatchWindowMatchesSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := names.NewTable()
+	pool := testNamePool(tab)
+	// A window covering days 0-1 of the generated 0-3 day spread, so
+	// random batches straddle it; plus degenerate all-in/all-out cases.
+	w := simclock.Window{Start: simclock.MeasurementStart, End: simclock.MeasurementStart.Add(simclock.Days(2))}
+
+	mkPair := func() (*Aggregator, *Aggregator) {
+		in := NewAggregator(tab, []string{"evil.example."})
+		out := NewAggregator(tab, []string{"evil.example."})
+		return in, out
+	}
+	bIn, bOut := mkPair()
+	rIn, rOut := mkPair()
+	sIn, sOut := mkPair()
+	for round := 0; round < 4; round++ {
+		b := randomBatch(rng, tab, pool, 500)
+		bIn.ObserveBatchWindow(b, w, true)
+		bOut.ObserveBatchWindow(b, w, false)
+		ObserveBatchSplit(sIn, sOut, b, w)
+		for i := 0; i < b.N; i++ {
+			s := sampleFromRow(tab, b, i)
+			if w.Contains(s.Time) {
+				rIn.Observe(s)
+			} else {
+				rOut.Observe(s)
+			}
+		}
+	}
+	if !reflect.DeepEqual(bIn, rIn) {
+		t.Error("inside-window batch state diverged from per-sample split")
+	}
+	if !reflect.DeepEqual(bOut, rOut) {
+		t.Error("outside-window batch state diverged from per-sample split")
+	}
+	if !reflect.DeepEqual(sIn, rIn) || !reflect.DeepEqual(sOut, rOut) {
+		t.Error("ObserveBatchSplit state diverged from per-sample split")
+	}
+	if bIn.Samples == 0 || bOut.Samples == 0 {
+		t.Fatalf("window split degenerate: in=%d out=%d samples", bIn.Samples, bOut.Samples)
+	}
+}
+
+// TestMergeArenasMatchesSingle shards randomized batches across
+// aggregators — disjoint and overlapping client populations — and
+// checks Merge + CanonicalizeClients equals one aggregator observing
+// everything (the arena-level analogue of the map-era merge guarantee).
+func TestMergeArenasMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tab := names.NewTable()
+	pool := testNamePool(tab)
+	track := []string{"evil.example.", "."}
+
+	single := NewAggregator(tab, track)
+	shards := []*Aggregator{NewAggregator(tab, track), NewAggregator(tab, track), NewAggregator(tab, track)}
+	for round := 0; round < 6; round++ {
+		b := randomBatch(rng, tab, pool, 300)
+		single.ObserveBatch(b)
+		shards[round%len(shards)].ObserveBatch(b)
+	}
+	merged := shards[0]
+	merged.Merge(shards[1])
+	merged.Merge(shards[2])
+	merged.CanonicalizeClients()
+	single.CanonicalizeClients()
+	if !reflect.DeepEqual(merged, single) {
+		t.Error("merged shard arenas differ from a single aggregator over the same batches")
+	}
+}
+
+// TestCollectorObserveBatchMatchesObserve checks the pass-2 batch path:
+// a collector fed whole batches must end byte-identical — records,
+// per-name counts, and VisibleNS order included — to one observing the
+// same rows sample by sample.
+func TestCollectorObserveBatchMatchesObserve(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tab := names.NewTable()
+	pool := testNamePool(tab)
+	cands := map[string]bool{"evil.example.": true, ".": true}
+	var dets []*Detection
+	for c := byte(1); c <= 12; c++ {
+		for d := 0; d < 4; d++ {
+			dets = append(dets, &Detection{
+				Victim: [4]byte{10, 0, 0, c}, Day: simclock.MeasurementStart.Add(simclock.Days(d)).Day(),
+				First: simclock.MeasurementStart.Add(simclock.Days(d)),
+				Last:  simclock.MeasurementStart.Add(simclock.Days(d)),
+			})
+		}
+	}
+	batchCol := NewCollector(tab, dets, cands)
+	rowCol := NewCollector(tab, dets, cands)
+	for round := 0; round < 4; round++ {
+		b := randomBatch(rng, tab, pool, 500)
+		batchCol.ObserveBatch(b, nil)
+		for i := 0; i < b.N; i++ {
+			rowCol.Observe(sampleFromRow(tab, b, i))
+		}
+	}
+	if !reflect.DeepEqual(batchCol, rowCol) {
+		t.Error("Collector.ObserveBatch state diverged from per-sample Observe")
+	}
+	if len(batchCol.VisibleNS) == 0 || batchCol.Records()[0].Packets == 0 {
+		t.Fatal("degenerate case: collector saw no candidate traffic")
+	}
+}
+
+// TestForeignTableBatchRemap guards the invariant the batch-native
+// paths rely on: a batch whose Name column lives in a foreign table
+// (source.Replay's AddDay contract) must, after
+// ixp.CapturePoint.RemapBatch, produce the same study-level results —
+// detections and pass-2 records, which carry no IDs — as consuming the
+// batch natively in its own table space.
+func TestForeignTableBatchRemap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	foreign := names.NewTable()
+	pool := testNamePool(foreign)
+	b := randomBatch(rng, foreign, pool, 800)
+
+	// Consumer table with a different interning order, so IDs differ.
+	tab := names.NewTable()
+	for _, n := range []string{"cdn.test.", "doj.gov.", "evil.example.", "."} {
+		tab.Intern(n)
+	}
+	cap := ixp.NewCapturePoint(nil, tab)
+	rb := cap.RemapBatch(b)
+	if rb == b || rb.Table != tab {
+		t.Fatal("foreign-table batch was not remapped into the capture table")
+	}
+
+	track := []string{"evil.example.", "."}
+	agF := NewAggregator(foreign, track)
+	agF.ObserveBatch(b)
+	agN := NewAggregator(tab, track)
+	agN.ObserveBatch(rb)
+	if agF.Samples != agN.Samples || agF.TotalBytes != agN.TotalBytes || agF.NumClients() != agN.NumClients() {
+		t.Fatalf("global counters diverged: %d/%d/%d vs %d/%d/%d",
+			agF.Samples, agF.TotalBytes, agF.NumClients(), agN.Samples, agN.TotalBytes, agN.NumClients())
+	}
+	for _, n := range []string{"evil.example.", ".", "bulk-a.test.", "doj.gov."} {
+		if agF.NameStatsOf(n) != agN.NameStatsOf(n) {
+			t.Errorf("NameStatsOf(%q) diverged: %+v vs %+v", n, agF.NameStatsOf(n), agN.NameStatsOf(n))
+		}
+	}
+	cands := map[string]bool{"evil.example.": true, ".": true}
+	th := Thresholds{MinShare: 0.25, MinPackets: 2}
+	detsF := Detect(agF, cands, th)
+	detsN := Detect(agN, cands, th)
+	if len(detsF) == 0 || !reflect.DeepEqual(detsF, detsN) {
+		t.Errorf("detections diverged across table spaces: %d vs %d", len(detsF), len(detsN))
+	}
+
+	// Pass 2: a collector over each table space, fed its batch form.
+	colF := NewCollector(foreign, detsF, cands)
+	colF.ObserveBatch(b, nil)
+	colN := NewCollector(tab, detsN, cands)
+	colN.ObserveBatch(cap.RemapBatch(b), nil)
+	if !reflect.DeepEqual(colF.Records(), colN.Records()) {
+		t.Error("pass-2 records diverged across table spaces")
+	}
+	if !reflect.DeepEqual(colF.VisibleNS, colN.VisibleNS) {
+		t.Error("VisibleNS diverged across table spaces")
+	}
+}
+
+// TestDetectMatchesShareOf pins the columnar threshold scan to the
+// reference semantics: Detect must flag exactly the (client, day) pairs
+// whose ShareOf-based share and packet count pass the thresholds, in
+// (day, victim) order, on canonicalized and raw arenas alike.
+func TestDetectMatchesShareOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ag := NewAggregator(nil, []string{"evil.example.", "."})
+	pool := testNamePool(ag.Table)
+	for round := 0; round < 4; round++ {
+		ag.ObserveBatch(randomBatch(rng, ag.Table, pool, 600))
+	}
+	cands := map[string]bool{"evil.example.": true, ".": true, "absent.test.": false}
+	th := Thresholds{MinShare: 0.30, MinPackets: 3}
+
+	reference := func(ag *Aggregator) []*Detection {
+		cs := ag.CandidateSet(cands)
+		var want []*Detection
+		ag.EachClient(func(key ClientDay, ca *ClientAgg) {
+			share, cand := ca.ShareOf(cs)
+			if cand == 0 || ca.Total < th.MinPackets || share < th.MinShare {
+				return
+			}
+			want = append(want, &Detection{
+				Victim: key.Client, Day: key.Day,
+				Packets: ca.Total, CandidatePackets: cand, Share: share,
+				First: ca.First, Last: ca.Last,
+			})
+		})
+		return want
+	}
+	sortDet := func(ds []*Detection) {
+		for i := 1; i < len(ds); i++ {
+			for j := i; j > 0 && (ds[j].Day < ds[j-1].Day ||
+				(ds[j].Day == ds[j-1].Day && cmpAddr(ds[j].Victim, ds[j-1].Victim) < 0)); j-- {
+				ds[j], ds[j-1] = ds[j-1], ds[j]
+			}
+		}
+	}
+	for _, canonical := range []bool{false, true} {
+		if canonical {
+			ag.CanonicalizeClients()
+		}
+		want := reference(ag)
+		sortDet(want)
+		got := Detect(ag, cands, th)
+		if len(want) == 0 {
+			t.Fatal("degenerate case: no reference detections")
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("canonical=%v: Detect = %d detections, reference = %d (or contents differ)",
+				canonical, len(got), len(want))
+		}
+	}
+}

@@ -39,11 +39,11 @@ func TestAggregatorClientAttribution(t *testing.T) {
 	// (client, day) pair.
 	ag.Observe(mkSample(ag.Table, 1, 0, "doj.gov", dnswire.TypeANY, 40, false))
 	ag.Observe(mkSample(ag.Table, 1, 0, "doj.gov", dnswire.TypeANY, 4000, true))
-	if len(ag.Clients) != 1 {
-		t.Fatalf("client pairs = %d, want 1", len(ag.Clients))
+	if ag.NumClients() != 1 {
+		t.Fatalf("client pairs = %d, want 1", ag.NumClients())
 	}
 	id, _ := ag.Table.Lookup("doj.gov.")
-	for _, ca := range ag.Clients {
+	for _, ca := range ag.Clients() {
 		if ca.Total != 2 || ca.TrackedCount(id) != 2 {
 			t.Errorf("agg = %+v", ca)
 		}
@@ -66,8 +66,8 @@ func TestAggregatorDaySeparation(t *testing.T) {
 	ag := NewAggregator(nil, nil)
 	ag.Observe(mkSample(ag.Table, 1, 0, "a.test", dnswire.TypeA, 100, false))
 	ag.Observe(mkSample(ag.Table, 1, 1, "a.test", dnswire.TypeA, 100, false))
-	if len(ag.Clients) != 2 {
-		t.Errorf("pairs = %d, want 2 (separate days)", len(ag.Clients))
+	if ag.NumClients() != 2 {
+		t.Errorf("pairs = %d, want 2 (separate days)", ag.NumClients())
 	}
 }
 

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"net/netip"
 	"slices"
 
 	"dnsamp/internal/dnswire"
 	"dnsamp/internal/ixp"
 	"dnsamp/internal/names"
 	"dnsamp/internal/simclock"
+	"dnsamp/internal/topology"
 )
 
 // Thresholds are the two detection thresholds of §4.2.
@@ -39,22 +41,101 @@ type Detection struct {
 func (d *Detection) Duration() simclock.Duration { return d.Last.Sub(d.First) }
 
 // Detect applies the thresholds to pass-1 aggregates. The candidate set
-// is resolved into the aggregator's ID space once; the per-client sweep
-// then runs entirely on IDs.
+// is resolved once into a dense mark column over the aggregator's ID
+// space; the sweep is then columnar over the flat client-day arena:
+// one walk extracts each slot's candidate and total packet counts into
+// contiguous uint32 columns, and the minimum-packet threshold runs as a
+// branch-light integer pass over those columns (the share division only
+// happens for the rare candidate-bearing survivors). On a canonicalized
+// aggregator the arena is already in (day, victim) order, so the final
+// deterministic sort is a near-no-op; it is kept so non-canonicalized
+// aggregators (the live monitor's) report in the same order. The scan
+// reuses the aggregator's scratch columns and allocates only for
+// emitted detections.
 func Detect(ag *Aggregator, candidates map[string]bool, th Thresholds) []*Detection {
-	cs := ag.CandidateSet(candidates)
+	n := len(ag.arena)
+	if n == 0 {
+		return nil
+	}
+
+	// Resolve candidates into the dense mark column.
+	tl := ag.Table.Len()
+	if cap(ag.detMark) < tl {
+		ag.detMark = make([]bool, tl)
+	} else {
+		ag.detMark = ag.detMark[:tl]
+		clear(ag.detMark)
+	}
+	mark := ag.detMark
+	resolved := false
+	for name, ok := range candidates {
+		if !ok {
+			continue
+		}
+		if id, found := ag.Table.Lookup(dnswire.CanonicalName(name)); found {
+			mark[id] = true
+			resolved = true
+		}
+	}
+	if !resolved {
+		return nil
+	}
+
+	// Column pass: per-slot candidate and total packet counts.
+	if cap(ag.detCand) < n {
+		ag.detCand = make([]uint32, n)
+		ag.detTot = make([]uint32, n)
+	} else {
+		ag.detCand = ag.detCand[:n]
+		ag.detTot = ag.detTot[:n]
+	}
+	cand, tot := ag.detCand, ag.detTot
+	for i := range ag.arena {
+		ca := &ag.arena[i]
+		c := 0
+		for _, tc := range ca.Tracked {
+			if int(tc.ID) < tl && mark[tc.ID] {
+				c += tc.N
+			}
+		}
+		cand[i] = uint32(c)
+		tot[i] = uint32(ca.Total)
+	}
+
+	// Threshold scan: integer compares over two contiguous columns.
+	minP := th.MinPackets
+	if minP < 0 {
+		minP = 0
+	}
+	minPackets := uint32(minP)
+	// The nil check is not redundant: slicing nil stays nil, and the
+	// hits column must end non-nil after every sweep so aggregators
+	// with different Detect histories (e.g. a re-Detect after a
+	// hit-bearing run vs a single no-hit run) stay reflect.DeepEqual —
+	// the determinism contract the pipeline's golden tests compare by.
+	hits := ag.detHits
+	if hits == nil {
+		hits = []uint32{}
+	}
+	hits = hits[:0]
+	for i, c := range cand[:n] {
+		if c != 0 && tot[i] >= minPackets {
+			hits = append(hits, uint32(i))
+		}
+	}
+	ag.detHits = hits
+
 	var out []*Detection
-	for key, ca := range ag.Clients {
-		share, cand := ca.ShareOf(cs)
-		if cand == 0 {
+	for _, i := range hits {
+		ca := &ag.arena[i]
+		share := float64(cand[i]) / float64(ca.Total)
+		if share < th.MinShare {
 			continue
 		}
-		if ca.Total < th.MinPackets || share < th.MinShare {
-			continue
-		}
+		key := ag.arenaKeys[i]
 		out = append(out, &Detection{
 			Victim: key.Client, Day: key.Day,
-			Packets: ca.Total, CandidatePackets: cand, Share: share,
+			Packets: ca.Total, CandidatePackets: int(cand[i]), Share: share,
 			First: ca.First, Last: ca.Last,
 		})
 	}
@@ -141,9 +222,13 @@ type Collector struct {
 	// are indexed by position in it.
 	candNames []string
 	// candIdx maps a table name ID to its candidate index. Candidates
-	// are few (tens), so a small map beats a table-sized dense column.
-	candIdx map[uint32]int32
-	wanted  map[ClientDay]*AttackRecord
+	// are few (tens), so a small map beats a table-sized dense column
+	// for per-sample use; candSlot is its dense twin for the batch
+	// path, sized only up to the highest candidate ID (candidates are
+	// interned early, so the column stays short).
+	candIdx  map[uint32]int32
+	candSlot []int32 // name ID -> candidate index; -1 = not a candidate
+	wanted   map[ClientDay]*AttackRecord
 	// VisibleNS records the decodable NS-record count of every attack
 	// response sample (the NXNS check of §4.2).
 	VisibleNS []int
@@ -166,6 +251,7 @@ func NewCollector(tab *names.Table, dets []*Detection, candidates map[string]boo
 	slices.Sort(c.candNames)
 	c.candNames = slices.Compact(c.candNames)
 	c.candIdx = make(map[uint32]int32, len(c.candNames))
+	maxID := uint32(0)
 	for i, n := range c.candNames {
 		// Lookup first so shared (frozen) tables are never written from
 		// concurrent collector construction; interning only happens on
@@ -175,6 +261,18 @@ func NewCollector(tab *names.Table, dets []*Detection, candidates map[string]boo
 			id = tab.Intern(n)
 		}
 		c.candIdx[id] = int32(i)
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if len(c.candNames) > 0 {
+		c.candSlot = make([]int32, maxID+1)
+		for i := range c.candSlot {
+			c.candSlot[i] = -1
+		}
+		for id, ci := range c.candIdx {
+			c.candSlot[id] = ci
+		}
 	}
 	for _, d := range dets {
 		c.wanted[ClientDay{Client: d.Victim, Day: d.Day}] = &AttackRecord{
@@ -225,6 +323,67 @@ func (c *Collector) Observe(s *ixp.DNSSample) {
 	}
 	if s.Time.After(rec.Last) {
 		rec.Last = s.Time
+	}
+}
+
+// ObserveBatch ingests a whole columnar batch during pass 2 — the
+// batch-native twin of Observe. The batch's Name column must be in the
+// collector's table space. The overwhelming majority of rows reject on
+// the dense candidate column (two compares and one load, no hashing);
+// only accepted request rows pay a routing lookup, so the pass-2 sweep
+// never annotates packets it is about to drop. topo supplies the
+// ingress member AS for request packets whose batch Ingress column is
+// zero (nil skips the lookup, recording ingress 0 — exactly the
+// per-sample path's behaviour for an unannotated sample).
+func (c *Collector) ObserveBatch(b *ixp.SampleBatch, topo *topology.Topology) {
+	if b == nil || b.N == 0 || len(c.candSlot) == 0 || len(c.wanted) == 0 {
+		return
+	}
+	slot := c.candSlot
+	for i, id := range b.Name[:b.N] {
+		if int(id) >= len(slot) {
+			continue
+		}
+		ci := slot[id]
+		if ci < 0 {
+			continue
+		}
+		resp := b.Resp[i]
+		client := b.Src[i]
+		if resp {
+			client = b.Dst[i]
+		}
+		t := b.Time[i]
+		rec := c.wanted[ClientDay{Client: client, Day: t.Day()}]
+		if rec == nil {
+			continue
+		}
+		rec.Packets++
+		rec.nameCounts[ci]++
+		rec.TXIDs[b.TXID[i]]++
+		if b.QType[i] == dnswire.TypeANY {
+			rec.ANYPackets++
+		}
+		if resp {
+			rec.Responses++
+			rec.Amplifiers[b.Src[i]]++
+			rec.Sizes = append(rec.Sizes, int(b.MsgSize[i]))
+			c.VisibleNS = append(c.VisibleNS, int(b.VisibleNS[i]))
+		} else {
+			rec.Requests++
+			peer := b.Ingress[i]
+			if peer == 0 && topo != nil {
+				peer = topo.PeerHopAS(netip.AddrFrom4(b.Src[i]))
+			}
+			rec.ReqIngress[peer]++
+			rec.ReqTTLs[b.IPTTL[i]]++
+		}
+		if t.Before(rec.First) {
+			rec.First = t
+		}
+		if t.After(rec.Last) {
+			rec.Last = t
+		}
 	}
 }
 
@@ -329,7 +488,7 @@ func ValidateDetection(ag *Aggregator, visible []GroundTruthAttack, candidates m
 		vis := false
 		hit := false
 		for _, d := range gt.Days() {
-			ca := ag.Clients[ClientDay{Client: gt.Victim, Day: d}]
+			ca := ag.ClientOf(ClientDay{Client: gt.Victim, Day: d})
 			if ca == nil {
 				continue
 			}
@@ -372,7 +531,7 @@ func VisibilityCurve(ag *Aggregator, visible []GroundTruthAttack, candidates map
 	for _, gt := range visible {
 		best := 0
 		for _, d := range gt.Days() {
-			if ca := ag.Clients[ClientDay{Client: gt.Victim, Day: d}]; ca != nil && ca.Total > best {
+			if ca := ag.ClientOf(ClientDay{Client: gt.Victim, Day: d}); ca != nil && ca.Total > best {
 				best = ca.Total
 			}
 		}
@@ -393,12 +552,12 @@ func VisibilityCurve(ag *Aggregator, visible []GroundTruthAttack, candidates map
 			pt.GroundTruthShare = float64(vis) / float64(len(gtMax))
 		}
 		all, allVis := 0, 0
-		for _, ca := range ag.Clients {
+		ag.EachClient(func(_ ClientDay, ca *ClientAgg) {
 			all++
 			if ca.Total >= mp {
 				allVis++
 			}
-		}
+		})
 		if all > 0 {
 			pt.AllFlowsShare = float64(allVis) / float64(all)
 		}

@@ -74,8 +74,8 @@ func TestMergeDisjoint(t *testing.T) {
 	if a.Samples != 2 || a.Requests != 1 || a.TotalBytes != 980 {
 		t.Fatalf("global counters: samples=%d requests=%d bytes=%d", a.Samples, a.Requests, a.TotalBytes)
 	}
-	if a.NumNames() != 2 || len(a.Clients) != 2 {
-		t.Fatalf("names=%d clients=%d, want 2 and 2", a.NumNames(), len(a.Clients))
+	if a.NumNames() != 2 || a.NumClients() != 2 {
+		t.Fatalf("names=%d clients=%d, want 2 and 2", a.NumNames(), a.NumClients())
 	}
 	if ns := a.NameStatsOf("evil.example."); ns.MaxSize != 900 || ns.ANYPackets != 1 {
 		t.Errorf("evil stats: %+v", ns)
@@ -114,7 +114,7 @@ func TestMergeOverlapping(t *testing.T) {
 	if !reflect.DeepEqual(a, want) {
 		t.Error("merged shards differ from a single aggregator over the same samples")
 	}
-	ca := a.Clients[ClientDay{Client: [4]byte{10, 0, 0, 1}, Day: day0(0).Day()}]
+	ca := a.ClientOf(ClientDay{Client: [4]byte{10, 0, 0, 1}, Day: day0(0).Day()})
 	if ca == nil || ca.Total != 4 || ca.First != day0(50) || ca.Last != day0(300) {
 		t.Fatalf("client profile after merge: %+v", ca)
 	}

@@ -101,7 +101,7 @@ func Selector3GroundTruth(ag *Aggregator, attacks []GroundTruthAttack) (Selector
 	for _, gt := range attacks {
 		found := false
 		for _, d := range gt.Days() {
-			ca := ag.Clients[ClientDay{Client: gt.Victim, Day: d}]
+			ca := ag.ClientOf(ClientDay{Client: gt.Victim, Day: d})
 			if ca == nil {
 				continue
 			}

@@ -118,6 +118,13 @@ func (e *Encoder) appendCompressedName(name string) {
 		} else {
 			name = ""
 		}
+		if label == "" {
+			// Empty labels (leading/consecutive dots, as produced when a
+			// decoded wire label itself contains a '.' byte) have no wire
+			// form: a zero length octet would terminate the name early
+			// and shift every following record.
+			continue
+		}
 		if len(label) > 63 {
 			label = label[:63]
 		}

@@ -143,6 +143,10 @@ type Generator struct {
 	// isExplicit flags table IDs backed by an explicit zone, replacing
 	// the per-packet zones-map lookup.
 	isExplicit []bool
+	// wireLens caches nameWireLen per table ID, so the background hot
+	// path sizes queries and response skeletons from a flat int column
+	// instead of dereferencing the interned string per packet.
+	wireLens []int32
 	// sizeCache memoizes the procedural response size per (qtype slot,
 	// name ID). Sizes of bulk names are pure functions of (name, qtype)
 	// but cost two SHA-256 hashes to derive; concurrent Day slices fill
@@ -289,10 +293,12 @@ func NewGenerator(c *Campaign, seed int64) *Generator {
 	}
 
 	g.isExplicit = make([]bool, g.table.Len())
+	g.wireLens = make([]int32, g.table.Len())
 	for id, name := range g.table.Names() {
 		if _, ok := c.DB.Zone(name); ok {
 			g.isExplicit[id] = true
 		}
+		g.wireLens[id] = int32(nameWireLen(name))
 	}
 	g.sizeCache = make([]sizeCacheCol, len(qtypeSlots))
 	for i := range g.sizeCache {
@@ -323,19 +329,20 @@ func qtypeSlot(qtype dnswire.Type) int {
 
 // responseSizeFor returns DB.ResponseSize(name, qtype, t), serving bulk
 // names from the per-ID cache (their sizes are time-independent pure
-// functions, but cost two SHA-256 hashes to derive).
-func (g *Generator) responseSizeFor(nameID uint32, name string, qtype dnswire.Type, t simclock.Time) int {
+// functions, but cost two SHA-256 hashes to derive). The name string is
+// only materialized on the slow paths; cache hits never touch it.
+func (g *Generator) responseSizeFor(nameID uint32, qtype dnswire.Type, t simclock.Time) int {
 	if g.isExplicit[nameID] {
-		return g.C.DB.ResponseSize(name, qtype, t)
+		return g.C.DB.ResponseSize(g.table.Name(nameID), qtype, t)
 	}
 	slot := qtypeSlot(qtype)
 	if slot < 0 {
-		return g.C.DB.ResponseSize(name, qtype, t)
+		return g.C.DB.ResponseSize(g.table.Name(nameID), qtype, t)
 	}
 	if v := g.sizeCache[slot][nameID].Load(); v != 0 {
 		return int(v)
 	}
-	v := g.C.DB.ResponseSize(name, qtype, t)
+	v := g.C.DB.ResponseSize(g.table.Name(nameID), qtype, t)
 	g.sizeCache[slot][nameID].Store(int32(v))
 	return v
 }
@@ -393,21 +400,27 @@ func nameWireLen(name string) int {
 }
 
 // querySize is the encoded size of dnswire.NewQuery(_, name, _, 4096):
-// header, one question, one OPT RR.
+// header, one question, one OPT RR. querySizeWL is its twin over a
+// precomputed wire length (Generator.wireLens).
 func querySize(name string) int {
-	return dnswire.HeaderLen + nameWireLen(name) + 4 + 11
+	return querySizeWL(nameWireLen(name))
 }
 
-// bgResponseSize is the encoded size of the one-answer background
-// response skeleton: header, echoed question, and an A record whose
-// owner is a compression pointer to the question name (or the root's
-// single octet).
-func bgResponseSize(name string) int {
+func querySizeWL(wireLen int) int {
+	return dnswire.HeaderLen + wireLen + 4 + 11
+}
+
+// bgResponseSizeWL is the encoded size of the one-answer background
+// response skeleton over a precomputed name wire length: header, echoed
+// question, and an A record whose owner is a compression pointer to the
+// question name (or the root's single octet — the only name with wire
+// length 1).
+func bgResponseSizeWL(wireLen int) int {
 	ans := 2 + 14 // pointer + fixed RR tail + 4-byte A rdata
-	if name == "." {
+	if wireLen == 1 {
 		ans = 1 + 14
 	}
-	return dnswire.HeaderLen + nameWireLen(name) + 4 + ans
+	return dnswire.HeaderLen + wireLen + 4 + ans
 }
 
 // frameWindow emulates the capture point's frame decoding for a frame
@@ -442,12 +455,13 @@ func frameWindow(payloadLen, trueSize int) (parseLen, msgSize int, drop uint8) {
 }
 
 // emitSimple emits one query or one-answer background response, whose
-// parse outcome is fully determined by the question fitting the parse
-// window (such messages never carry NS records).
-func (g *dayGen) emitSimple(r ixp.BatchRecord, name string, payloadLen, trueSize int) {
+// parse outcome is fully determined by the question (of the given name
+// wire length) fitting the parse window (such messages never carry NS
+// records).
+func (g *dayGen) emitSimple(r ixp.BatchRecord, wireLen, payloadLen, trueSize int) {
 	g.batch.Frames++
 	parseLen, msgSize, drop := frameWindow(payloadLen, trueSize)
-	if drop == dropNone && parseLen < dnswire.HeaderLen+nameWireLen(name)+4 {
+	if drop == dropNone && parseLen < dnswire.HeaderLen+wireLen+4 {
 		drop = dropNonDNS // header or first question unreadable
 	}
 	switch drop {
@@ -632,7 +646,7 @@ func (g *dayGen) emitAttackRequest(amp *Amplifier, ev *AttackEvent, evName strin
 		QType:   ev.QType,
 		TXID:    txid,
 		Ingress: ev.IngressAS,
-	}, evName, qlen, qlen)
+	}, nameWireLen(evName), qlen, qlen)
 }
 
 // sensorFlows emits the honeypot-side flows of one event.
@@ -815,25 +829,25 @@ func (g *dayGen) backgroundTraffic(day simclock.Time) {
 				}
 			}
 		}
-		name := g.table.Name(nameID)
-
 		if g.rng.Float64() < g.Background.ResponseShare {
-			g.emitBackgroundResponse(server, client, name, nameID, qtype, t)
+			g.emitBackgroundResponse(server, client, nameID, qtype, t)
 		} else {
-			g.emitBackgroundQuery(client, server, name, nameID, qtype, t)
+			g.emitBackgroundQuery(client, server, nameID, qtype, t)
 		}
 	}
 }
 
 // emitBackgroundQuery draws and emits one organic client->server query.
-func (g *dayGen) emitBackgroundQuery(client, server netip.Addr, name string, nameID uint32, qtype dnswire.Type, t simclock.Time) {
+// The batch path never materializes the name string; sizes come from
+// the per-ID wire-length column.
+func (g *dayGen) emitBackgroundQuery(client, server netip.Addr, nameID uint32, qtype dnswire.Type, t simclock.Time) {
 	txid := uint16(g.rng.Intn(1 << 16))
 	ttl := uint8(32 + g.rng.Intn(200))
 	ipID := uint16(g.rng.Intn(1 << 16))
 	srcPort := uint16(1024 + g.rng.Intn(60000))
 
 	if g.frames != nil {
-		q := dnswire.NewQuery(txid, name, qtype, 4096)
+		q := dnswire.NewQuery(txid, g.table.Name(nameID), qtype, 4096)
 		payload := g.enc.Encode(q)
 		ip := netmodel.IPv4{TTL: ttl, ID: ipID, Src: client, Dst: server}
 		udp := netmodel.UDP{SrcPort: srcPort, DstPort: 53}
@@ -842,7 +856,8 @@ func (g *dayGen) emitBackgroundQuery(client, server netip.Addr, name string, nam
 		return
 	}
 
-	qlen := querySize(name)
+	wl := int(g.wireLens[nameID])
+	qlen := querySizeWL(wl)
 	g.emitSimple(ixp.BatchRecord{
 		Time:    t,
 		Src:     client.As4(),
@@ -854,13 +869,13 @@ func (g *dayGen) emitBackgroundQuery(client, server netip.Addr, name string, nam
 		Name:    nameID,
 		QType:   qtype,
 		TXID:    txid,
-	}, name, qlen, qlen)
+	}, wl, qlen, qlen)
 }
 
 // emitBackgroundResponse draws and emits one organic server->client
 // response.
-func (g *dayGen) emitBackgroundResponse(server, client netip.Addr, name string, nameID uint32, qtype dnswire.Type, t simclock.Time) {
-	size := g.responseSizeFor(nameID, name, qtype, t)
+func (g *dayGen) emitBackgroundResponse(server, client netip.Addr, nameID uint32, qtype dnswire.Type, t simclock.Time) {
+	size := g.responseSizeFor(nameID, qtype, t)
 	// Organic jitter: caches, case randomization, EDNS variations.
 	size += g.rng.Intn(24)
 	if !g.isExplicit[nameID] && size > 4096 {
@@ -876,6 +891,7 @@ func (g *dayGen) emitBackgroundResponse(server, client netip.Addr, name string, 
 	dstPort := uint16(1024 + g.rng.Intn(60000))
 
 	if g.frames != nil {
+		name := g.table.Name(nameID)
 		q := dnswire.NewQuery(txid, name, qtype, 4096)
 		resp := dnswire.NewResponse(q)
 		resp.Answers = append(resp.Answers, dnswire.RR{
@@ -897,7 +913,8 @@ func (g *dayGen) emitBackgroundResponse(server, client netip.Addr, name string, 
 		return
 	}
 
-	respLen := bgResponseSize(name)
+	wl := int(g.wireLens[nameID])
+	respLen := bgResponseSizeWL(wl)
 	if size < respLen {
 		size = respLen
 	}
@@ -914,7 +931,7 @@ func (g *dayGen) emitBackgroundResponse(server, client netip.Addr, name string, 
 		QType:   qtype,
 		TXID:    txid,
 		ANCount: 1,
-	}, name, respLen, size)
+	}, wl, respLen, size)
 }
 
 // macForAS derives a stable router MAC for a member/AS.

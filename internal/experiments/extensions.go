@@ -109,14 +109,14 @@ func (s *Suite) FutureWork() *Report {
 	// packets at the IXP.
 	faint := 0
 	cands := s.Study.AggMain.CandidateSet(s.Study.NameList.Names)
-	for key, ca := range s.Study.AggMain.Clients {
+	s.Study.AggMain.EachClient(func(key core.ClientDay, ca *core.ClientAgg) {
 		if !truth[key] {
-			continue
+			return
 		}
 		if _, cand := ca.ShareOf(cands); cand >= 2 {
 			faint++
 		}
-	}
+	})
 
 	r.addf("%8s %8s %11s %10s %8s", "share", "minPkts", "detections", "precision", "recall")
 	for _, th := range []core.Thresholds{

@@ -62,10 +62,10 @@ func (s *Suite) Figure4() *Report {
 	// Bucket by log10(packets); track share distribution per bucket.
 	type bucket struct{ lo, mid, hi, n int }
 	buckets := map[int]*bucket{}
-	for _, ca := range s.Study.AggMain.Clients {
+	s.Study.AggMain.EachClient(func(_ core.ClientDay, ca *core.ClientAgg) {
 		share, cand := ca.ShareOf(cands)
 		if cand == 0 {
-			continue
+			return
 		}
 		b := buckets[stats.LogBucket(float64(ca.Total))]
 		if b == nil {
@@ -81,7 +81,7 @@ func (s *Suite) Figure4() *Report {
 		default:
 			b.mid++
 		}
-	}
+	})
 	r.addf("paper: bimodal — with higher packet counts, shares concentrate at ~0%% or ~100%%")
 	r.addf("%-14s %8s %8s %8s %8s", "packets", "pairs", "<=10%", "mid", ">=90%")
 	var keys []int

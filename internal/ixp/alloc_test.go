@@ -47,6 +47,38 @@ func TestConsumeBatchZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestObserveBatchZeroAllocSteadyState guards the batch-native pass-1
+// loop end to end: RemapBatch (stats + routing-coverage counting over
+// the warmed per-address AS cache, identity table view) feeding
+// Aggregator.ObserveBatch must not allocate per batch once the name
+// slots and client-day arena exist — this is the loop the pipeline's
+// Aggregate stage now spends its life in.
+func TestObserveBatchZeroAllocSteadyState(t *testing.T) {
+	cfg := ecosystem.DefaultCampaignConfig(0.002)
+	cfg.Zones.ProceduralNames = 5000
+	cfg.Topology = topology.Config{Members: 12, ASesPerClass: 20, Seed: 1}
+	c := ecosystem.NewCampaign(cfg)
+	gen := ecosystem.NewGenerator(c, 7)
+	dt := gen.Day(simclock.MeasurementStart.Add(simclock.Days(3)))
+	if dt.Batch == nil || dt.Batch.N == 0 {
+		t.Fatal("no batch records")
+	}
+
+	cap := ixp.NewCapturePoint(c.Topo, gen.Table())
+	ag := core.NewAggregator(gen.Table(), c.DB.ExplicitNames())
+	// Warm pass: fills the AS cache and creates every aggregation slot.
+	ag.ObserveBatch(cap.RemapBatch(dt.Batch))
+
+	allocs := testing.AllocsPerRun(3, func() {
+		ag.ObserveBatch(cap.RemapBatch(dt.Batch))
+	})
+	perPacket := allocs / float64(dt.Batch.N)
+	if perPacket > 0.001 {
+		t.Errorf("RemapBatch+ObserveBatch steady state: %.4f allocs/packet over %d packets, want 0",
+			perPacket, dt.Batch.N)
+	}
+}
+
 // TestDayGenerationAllocBound guards the synthesis side: materializing
 // a full day must stay far under one allocation per packet (templates,
 // sensor flows, and the batch columns themselves are amortized).

@@ -1,8 +1,6 @@
 package ixp
 
 import (
-	"net/netip"
-
 	"dnsamp/internal/dnswire"
 	"dnsamp/internal/names"
 	"dnsamp/internal/simclock"
@@ -145,19 +143,20 @@ func (b *SampleBatch) AppendSample(s *DNSSample, ingress uint32) {
 	})
 }
 
-// ConsumeBatch replays a columnar batch through the capture point:
-// remapping batch-table name IDs into the capture point's table,
-// annotating origin/peer ASNs from the routing substrate, applying
-// ingress-port overrides, and accumulating sanitization stats exactly
-// as the frame-level Process would.
-//
-// fn receives a reused *DNSSample — it must not be retained across
-// calls. The steady-state loop performs zero allocations per record:
-// the name remap cache is filled once per distinct name, and the
-// sample struct is scratch storage.
-func (c *CapturePoint) ConsumeBatch(b *SampleBatch, fn func(*DNSSample)) {
+// RemapBatch prepares a columnar batch for batch-native consumers
+// (core.Aggregator.ObserveBatch, core.Collector.ObserveBatch): it
+// accumulates the batch's sanitization counters and the routing-
+// coverage stats (origin/peer mapping, through the per-address AS
+// cache) exactly as a full ConsumeBatch replay would, and returns a
+// batch view whose Name column lives in the capture point's table
+// space. Batches already carrying the capture table — the pipeline's
+// steady state, where source, aggregator, and capture point share one
+// frozen table — are returned as-is; foreign-table batches materialize
+// a remapped Name column into a scratch view that is only valid until
+// the next RemapBatch or ConsumeBatch call.
+func (c *CapturePoint) RemapBatch(b *SampleBatch) *SampleBatch {
 	if b == nil {
-		return
+		return nil
 	}
 	c.Stats.Frames += b.Frames
 	c.Stats.NonUDP += b.NonUDP
@@ -165,15 +164,59 @@ func (c *CapturePoint) ConsumeBatch(b *SampleBatch, fn func(*DNSSample)) {
 	c.Stats.Malformed += b.Malformed
 	c.Stats.Accepted += b.N
 	if b.N == 0 {
-		return
+		return b
+	}
+	if c.Topo != nil {
+		for _, src := range b.Src[:b.N] {
+			origin, peer := c.originPeer(src)
+			if origin != 0 {
+				c.Stats.OriginMapped++
+			}
+			if peer != 0 {
+				c.Stats.PeerMapped++
+			}
+		}
+	}
+	if b.Table == c.Table {
+		return b
 	}
 	if c.remapTab != b.Table {
 		c.remapTab = b.Table
 		c.remap = c.remap[:0]
 	}
+	ids := c.remapNames[:0]
+	for _, id := range b.Name[:b.N] {
+		ids = append(ids, c.translate(b.Table, id))
+	}
+	c.remapNames = ids
+	c.remapView = *b
+	c.remapView.Table = c.Table
+	c.remapView.Name = ids
+	return &c.remapView
+}
+
+// ConsumeBatch replays a columnar batch through the capture point:
+// remapping batch-table name IDs into the capture point's table,
+// annotating origin/peer ASNs from the routing substrate, applying
+// ingress-port overrides, and accumulating sanitization stats exactly
+// as the frame-level Process would. It is the per-sample compatibility
+// path — kept for consumers that need one callback per packet (the
+// live monitor's arrival-order processing, Replay/frame-level
+// ingestion); the detection pipeline feeds RemapBatch output to the
+// batch-native Observe paths instead.
+//
+// fn receives a reused *DNSSample — it must not be retained across
+// calls. The steady-state loop performs zero allocations per record:
+// the name remap cache is filled once per distinct name, and the
+// sample struct is scratch storage.
+func (c *CapturePoint) ConsumeBatch(b *SampleBatch, fn func(*DNSSample)) {
+	rb := c.RemapBatch(b)
+	if rb == nil || rb.N == 0 {
+		return
+	}
+	b = rb
 	s := &c.scratch
 	for i := 0; i < b.N; i++ {
-		id := c.translate(b.Table, b.Name[i])
 		*s = DNSSample{
 			Time:       b.Time[i],
 			Src:        b.Src[i],
@@ -183,8 +226,8 @@ func (c *CapturePoint) ConsumeBatch(b *SampleBatch, fn func(*DNSSample)) {
 			IPTTL:      b.IPTTL[i],
 			IPID:       b.IPID[i],
 			IsResponse: b.Resp[i],
-			Name:       id,
-			QName:      c.Table.Name(id),
+			Name:       b.Name[i],
+			QName:      c.Table.Name(b.Name[i]),
 			QType:      b.QType[i],
 			TXID:       b.TXID[i],
 			MsgSize:    int(b.MsgSize[i]),
@@ -192,15 +235,7 @@ func (c *CapturePoint) ConsumeBatch(b *SampleBatch, fn func(*DNSSample)) {
 			VisibleNS:  int(b.VisibleNS[i]),
 		}
 		if c.Topo != nil {
-			src := netip.AddrFrom4(b.Src[i])
-			s.OriginAS = c.Topo.OriginAS(src)
-			s.PeerAS = c.Topo.PeerHopAS(src)
-			if s.OriginAS != 0 {
-				c.Stats.OriginMapped++
-			}
-			if s.PeerAS != 0 {
-				c.Stats.PeerMapped++
-			}
+			s.OriginAS, s.PeerAS = c.originPeer(b.Src[i])
 		}
 		if b.Ingress[i] != 0 {
 			s.PeerAS = b.Ingress[i]

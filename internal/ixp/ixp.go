@@ -6,6 +6,8 @@
 package ixp
 
 import (
+	"net/netip"
+
 	"dnsamp/internal/dnswire"
 	"dnsamp/internal/names"
 	"dnsamp/internal/netmodel"
@@ -95,6 +97,105 @@ type CapturePoint struct {
 	// tables are frozen, so one cache survives across days).
 	remap    []uint32
 	remapTab *names.Table
+	// remapView and remapNames back the batch view RemapBatch returns
+	// for foreign-table batches (reused across calls).
+	remapView  SampleBatch
+	remapNames []uint32
+	// asCache memoizes (origin AS, peer-hop AS) per source address:
+	// client populations repeat heavily, so routing resolution drops
+	// from two longest-prefix walks per packet to one cache probe.
+	asCache addrASCache
+}
+
+// addrASCache is a small open-addressed cache from IPv4 source address
+// to its packed (origin AS, peer-hop AS) pair. Entries are never
+// evicted, but insertion stops at addrASCacheMax entries: synthetic
+// campaigns stay far below it, while replayed or live traffic with
+// high-cardinality spoofed sources (scans, carpet bombing) degrades to
+// direct routing lookups instead of growing without bound.
+type addrASCache struct {
+	keys []uint32
+	vals []uint64 // origin | peer<<32
+	used []bool
+	mask uint32
+	n    int
+}
+
+// addrASCacheMax bounds the cache at 2^20 entries (2^21 slots at the
+// 3/4 load bound, ~27 MB): far above any synthetic client population,
+// far below an address-sweep's reach.
+const addrASCacheMax = 1 << 20
+
+func (c *addrASCache) get(key uint32) (uint64, bool) {
+	if c.n == 0 {
+		return 0, false
+	}
+	i := hashAddr(key) & c.mask
+	for {
+		if !c.used[i] {
+			return 0, false
+		}
+		if c.keys[i] == key {
+			return c.vals[i], true
+		}
+		i = (i + 1) & c.mask
+	}
+}
+
+func (c *addrASCache) put(key uint32, val uint64) {
+	if c.n >= addrASCacheMax {
+		return
+	}
+	if c.keys == nil {
+		c.grow(256)
+	} else if (c.n+1)*4 > len(c.keys)*3 {
+		c.grow(len(c.keys) * 2)
+	}
+	i := hashAddr(key) & c.mask
+	for c.used[i] {
+		if c.keys[i] == key {
+			c.vals[i] = val
+			return
+		}
+		i = (i + 1) & c.mask
+	}
+	c.used[i], c.keys[i], c.vals[i] = true, key, val
+	c.n++
+}
+
+func (c *addrASCache) grow(size int) {
+	ok, ov, ou := c.keys, c.vals, c.used
+	c.keys = make([]uint32, size)
+	c.vals = make([]uint64, size)
+	c.used = make([]bool, size)
+	c.mask = uint32(size - 1)
+	for i, u := range ou {
+		if u {
+			j := hashAddr(ok[i]) & c.mask
+			for c.used[j] {
+				j = (j + 1) & c.mask
+			}
+			c.used[j], c.keys[j], c.vals[j] = true, ok[i], ov[i]
+		}
+	}
+}
+
+func hashAddr(v uint32) uint32 {
+	x := uint64(v) * 0x9e3779b97f4a7c15
+	return uint32(x >> 32)
+}
+
+// originPeer resolves the origin AS and peer-hop member AS of a source
+// address through the per-address cache.
+func (c *CapturePoint) originPeer(addr [4]byte) (origin, peer uint32) {
+	key := uint32(addr[0])<<24 | uint32(addr[1])<<16 | uint32(addr[2])<<8 | uint32(addr[3])
+	if v, ok := c.asCache.get(key); ok {
+		return uint32(v), uint32(v >> 32)
+	}
+	origin = c.Topo.OriginAS(netip.AddrFrom4(addr))
+	peer = c.Topo.MemberFor(origin)
+	c.asCache.put(key, uint64(origin)|uint64(peer)<<32)
+	return origin, peer
 }
 
 // CaptureStats counts the sanitization pipeline outcomes.
@@ -182,9 +283,7 @@ func (c *CapturePoint) Process(rec sflow.Record) (DNSSample, bool) {
 		}
 	}
 	if c.Topo != nil {
-		src := pkt.IP.Src
-		s.OriginAS = c.Topo.OriginAS(src)
-		s.PeerAS = c.Topo.PeerHopAS(src)
+		s.OriginAS, s.PeerAS = c.originPeer(pkt.IP.Src.As4())
 		if s.OriginAS != 0 {
 			c.Stats.OriginMapped++
 		}

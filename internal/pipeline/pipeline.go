@@ -271,20 +271,23 @@ func (r *Runner) Aggregate() *Runner {
 	forEachDay(r.days, workers, func(worker, i int, day simclock.Time) {
 		sh := shards[worker]
 		batch, flows := r.Src.DayFlows(day)
-		sh.cap.ConsumeBatch(batch, func(s *ixp.DNSSample) {
-			if window.Contains(s.Time) {
-				sh.aggMain.Observe(s)
-			} else {
-				sh.aggExt.Observe(s)
-			}
-		})
+		// Batch-native pass 1: RemapBatch accumulates capture stats (and
+		// is an identity view here, the batch already carries the shared
+		// table); the aggregators then consume whole columns, split at
+		// the window boundary (a time-bounds check — only batches that
+		// straddle it fall back to a filtered row walk).
+		rb := sh.cap.RemapBatch(batch)
+		core.ObserveBatchSplit(sh.aggMain, sh.aggExt, rb, window)
 		dayFlows[i] = flows
 	})
 
 	// Stage barrier: merge shards (commutative, so worker order is
-	// irrelevant), canonicalize the merged name tables so IDs are
-	// independent of the sharding, and replay sensor flows in day
-	// order.
+	// irrelevant) and canonicalize the merged client-day arenas so
+	// their order is independent of the sharding. Every shard
+	// aggregated in the shared source table, so name IDs are already
+	// sharding-independent and the table itself needs no
+	// canonicalization (the aggregates keep the source table as their
+	// ID space).
 	st.AggMain = shards[0].aggMain
 	st.AggExt = shards[0].aggExt
 	st.CaptureStats = shards[0].cap.Stats
@@ -293,8 +296,8 @@ func (r *Runner) Aggregate() *Runner {
 		st.AggExt.Merge(sh.aggExt)
 		st.CaptureStats.Add(sh.cap.Stats)
 	}
-	st.AggMain.Canonicalize()
-	st.AggExt.Canonicalize()
+	st.AggMain.CanonicalizeClients()
+	st.AggExt.CanonicalizeClients()
 	hp := honeypot.NewPlatform(honeypot.CCCThresholds(), r.Cfg.Campaign.NumSensors)
 	for _, flows := range dayFlows {
 		for _, sf := range flows {
@@ -401,8 +404,16 @@ func (r *Runner) Collect() *Runner {
 			return
 		}
 		col := core.NewCollector(stab, dets, st.NameList.Names)
-		cap2 := ixp.NewCapturePoint(c.Topo, stab)
-		cap2.ConsumeBatch(r.Src.Day(day), func(s *ixp.DNSSample) { col.Observe(s) })
+		// Batch-native pass 2: RemapBatch guarantees the batch is in the
+		// collector's table space (an identity no-op for the usual
+		// shared-table sources; source.Replay may serve foreign-table
+		// batches) and ObserveBatch consumes it directly — no per-sample
+		// materialization, and no routing annotation for the packets the
+		// collector rejects (the old per-sample path annotated every
+		// packet; its capture stats were discarded, so the remap capture
+		// point carries no topology).
+		cap2 := ixp.NewCapturePoint(nil, stab)
+		col.ObserveBatch(cap2.RemapBatch(r.Src.Day(day)), c.Topo)
 		dayCols[i] = col
 	})
 	col := core.NewCollector(stab, all, st.NameList.Names)

@@ -162,7 +162,7 @@ func TestAggregateANYDominatedByAttacks(t *testing.T) {
 	}
 	atkANY := 0
 	for _, d := range study.Detections {
-		if ca := ag.Clients[core.ClientDay{Client: d.Victim, Day: d.Day}]; ca != nil {
+		if ca := ag.ClientOf(core.ClientDay{Client: d.Victim, Day: d.Day}); ca != nil {
 			atkANY += ca.ANYPackets
 		}
 	}

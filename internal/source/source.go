@@ -15,9 +15,13 @@
 //   - Replay serves pre-recorded day batches or sanitized sflow frames,
 //     the first non-synthetic workload.
 //
-// Sources hand out immutable batches: consumers replay them through
-// ixp.CapturePoint.ConsumeBatch (which never writes to a batch), so one
-// materialized day may be shared by any number of passes and workers.
+// Sources hand out immutable batches: consumers feed them to the
+// batch-native observers (core.Aggregator.ObserveBatch and
+// core.Collector.ObserveBatch, with ixp.CapturePoint.RemapBatch
+// translating foreign table spaces) or replay them per sample through
+// ixp.CapturePoint.ConsumeBatch — none of which write to a batch — so
+// one materialized day may be shared by any number of passes and
+// workers.
 package source
 
 import (
