@@ -34,9 +34,12 @@ bench-compare:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1s -timeout 40m . > /tmp/bench_head.txt
 	benchstat BENCH_baseline.txt /tmp/bench_head.txt
 
-# Fuzz smoke: a short coverage-guided run of the wire-parser target.
+# Fuzz smoke: short coverage-guided runs of the byte-level parsers
+# (DNS wire format, sFlow v5 datagrams, pcap records).
 fuzz:
 	$(GO) test -run '^$$' -fuzz Fuzz -fuzztime 10s ./internal/dnswire
+	$(GO) test -run '^$$' -fuzz FuzzParseDatagram -fuzztime 10s ./internal/sflow
+	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/pcap
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -3,9 +3,15 @@
 // to inspect what the generative model produces, or to feed external
 // tooling.
 //
+// With -sflow-out / -pcap-out it additionally materializes the first
+// -wire-days days of sampled IXP traffic as wire captures — an sFlow v5
+// datagram log and/or a classic pcap file — the inputs dnsampdetect
+// replays (-replay-sflow / -replay-pcap) and ixpmon tails (-sflow).
+//
 // Usage:
 //
 //	attackgen [-scale 0.1] [-seed 1] [-out events.jsonl] [-summary]
+//	          [-wire-days 3] [-traffic-seed 1] [-sflow-out FILE] [-pcap-out FILE]
 package main
 
 import (
@@ -14,10 +20,85 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 
 	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/pcap"
+	"dnsamp/internal/sflow"
 	"dnsamp/internal/simclock"
 )
+
+// exportWire materializes wire days and writes the selected capture
+// formats.
+func exportWire(c *ecosystem.Campaign, trafficSeed int64, days int, sflowPath, pcapPath string) error {
+	gen := ecosystem.NewGenerator(c, trafficSeed)
+	var lw *sflow.LogWriter
+	var pw *pcap.Writer
+	var closers []func() error
+	if sflowPath != "" {
+		f, err := os.Create(sflowPath)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f.Close)
+		bw := bufio.NewWriter(f)
+		closers = append(closers, bw.Flush)
+		if lw, err = sflow.NewLogWriter(bw, [4]byte{192, 0, 2, 1}, sflow.DefaultRate); err != nil {
+			return err
+		}
+	}
+	if pcapPath != "" {
+		f, err := os.Create(pcapPath)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f.Close)
+		bw := bufio.NewWriter(f)
+		closers = append(closers, bw.Flush)
+		if pw, err = pcap.NewWriter(bw, sflow.DefaultSnaplen); err != nil {
+			return err
+		}
+	}
+	// Generation order is per-event, not chronological (and events
+	// straddling midnight emit into the next day); a collector's log is
+	// arrival-ordered, so sort the exported window by capture time.
+	var recs []ecosystem.TaggedRecord
+	day := simclock.MeasurementStart
+	for d := 0; d < days; d++ {
+		recs = append(recs, gen.WireDay(day).IXP...)
+		day = day.Add(simclock.Day)
+	}
+	slices.SortStableFunc(recs, func(a, b ecosystem.TaggedRecord) int {
+		return int(a.Rec.Time.Sub(b.Rec.Time))
+	})
+	for _, tr := range recs {
+		if lw != nil {
+			if err := lw.Add(tr.Rec, tr.Ingress); err != nil {
+				return err
+			}
+		}
+		if pw != nil {
+			if err := pw.WritePacket(tr.Rec.Time, 0, tr.Rec.FrameLen, tr.Rec.Frame); err != nil {
+				return err
+			}
+		}
+	}
+	frames := len(recs)
+	if lw != nil {
+		if err := lw.Flush(); err != nil {
+			return err
+		}
+	}
+	// Flush writers innermost-last: closers were appended file-then-
+	// buffer, so walk them in reverse.
+	for i := len(closers) - 1; i >= 0; i-- {
+		if err := closers[i](); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wire capture: %d sampled frames over %d days\n", frames, days)
+	return nil
+}
 
 // eventJSON is the serialized ground-truth form.
 type eventJSON struct {
@@ -43,6 +124,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "campaign seed")
 	out := flag.String("out", "-", "output file for JSONL events (- = stdout)")
 	summaryOnly := flag.Bool("summary", false, "print only the summary")
+	wireDays := flag.Int("wire-days", 3, "days of sampled wire traffic to export with -sflow-out/-pcap-out")
+	trafficSeed := flag.Int64("traffic-seed", 1, "traffic synthesis seed for the wire export")
+	sflowOut := flag.String("sflow-out", "", "write the sampled traffic as an sFlow v5 datagram log")
+	pcapOut := flag.String("pcap-out", "", "write the sampled traffic as a classic pcap file")
 	flag.Parse()
 
 	cfg := ecosystem.DefaultCampaignConfig(*scale)
@@ -99,4 +184,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "relocation 1: %s (ingress AS%d), relocation 2: %s (ingress AS%d)\n",
 		c.Entity.Reloc1.Date(), c.Entity.Ingress1, c.Entity.Reloc2.Date(), c.Entity.Ingress2)
 	_ = simclock.MainPeriod()
+
+	if *sflowOut != "" || *pcapOut != "" {
+		if err := exportWire(c, *trafficSeed, *wireDays, *sflowOut, *pcapOut); err != nil {
+			fmt.Fprintln(os.Stderr, "attackgen: wire export:", err)
+			os.Exit(1)
+		}
+	}
 }

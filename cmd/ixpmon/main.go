@@ -1,25 +1,96 @@
 // Command ixpmon is the live-monitoring prototype of §4.3: it streams
-// sampled IXP traffic day by day through the online monitor, which
-// refreshes the misused-name list periodically (at most 5 minutes of
-// delay in the paper) and reports daily victim aggregates and name-list
-// churn.
+// sampled IXP traffic through the online monitor, which refreshes the
+// misused-name list periodically (at most 5 minutes of delay in the
+// paper) and reports daily victim aggregates and name-list churn.
+//
+// Traffic comes from the synthetic campaign by default; with -sflow it
+// is read from an sFlow v5 datagram log instead, in arrival order the
+// way a collector socket would deliver it. -follow keeps the monitor
+// attached after the last complete entry, tailing the file for
+// appended datagrams (the log reader resumes mid-entry, so a partially
+// flushed write is picked up once complete).
 //
 // Usage:
 //
 //	ixpmon [-scale 0.05] [-days 14] [-interval 5m] [-concurrency 0]
+//	ixpmon -sflow FILE [-follow] [-interval 5m] [-names 29]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"dnsamp/internal/core"
 	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/sflow"
 	"dnsamp/internal/simclock"
 	"dnsamp/internal/source"
 )
+
+// tailLog feeds a datagram log through the monitor in arrival order.
+// With follow, end-of-input waits for the file to grow instead of
+// finishing.
+func tailLog(mon *core.Monitor, path string, follow bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	lr, err := sflow.NewLogReader(f)
+	if err != nil {
+		return err
+	}
+	// No routing substrate for a raw capture: origin/peer stay
+	// unmapped unless the flow sample carries an ingress port.
+	cp := ixp.NewCapturePoint(nil, mon.Table())
+	var last simclock.Time
+	n, dayN := 0, 0
+	curDay := simclock.Time(-1)
+	for {
+		rec, input, err := lr.Next()
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			if follow {
+				time.Sleep(500 * time.Millisecond)
+				continue
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return fmt.Errorf("log truncated mid-entry after %d samples", n)
+			}
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if day := rec.Time.StartOfDay(); day != curDay {
+			if curDay >= 0 {
+				fmt.Fprintf(os.Stderr, "%s: %d samples processed\n", curDay.Date(), dayN)
+			}
+			curDay, dayN = day, 0
+		}
+		if s, ok := cp.Process(rec); ok {
+			if input != 0 {
+				s.PeerAS = input
+			}
+			mon.Observe(&s)
+			n++
+			dayN++
+		}
+		last = rec.Time
+	}
+	if curDay >= 0 {
+		fmt.Fprintf(os.Stderr, "%s: %d samples processed\n", curDay.Date(), dayN)
+	}
+	fmt.Fprintf(os.Stderr, "%d DNS samples processed from %s (%d sampled frames)\n", n, path, cp.Stats.Frames)
+	if n > 0 {
+		mon.Close(last.Add(simclock.Day))
+	}
+	return nil
+}
 
 func main() {
 	scale := flag.Float64("scale", 0.05, "campaign scale")
@@ -27,22 +98,31 @@ func main() {
 	interval := flag.Duration("interval", 5*time.Minute, "name-list refresh interval")
 	listSize := flag.Int("names", 29, "per-selector name list size")
 	concurrency := flag.Int("concurrency", 0, "day-traffic prefetch width (0 = all cores, 1 = serial; output is identical)")
+	sflowPath := flag.String("sflow", "", "monitor an sFlow v5 datagram log instead of synthesizing traffic")
+	follow := flag.Bool("follow", false, "with -sflow: keep tailing the log for appended datagrams")
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "building campaign (scale %.2f)...\n", *scale)
-	c := ecosystem.NewCampaign(ecosystem.DefaultCampaignConfig(*scale))
-	window := simclock.Window{
-		Start: simclock.MeasurementStart,
-		End:   simclock.MeasurementStart.Add(simclock.Days(*days)),
-	}
-	src := source.NewSynthetic(ecosystem.NewGenerator(c, 11), window)
 	mon := core.NewMonitor(*listSize, simclock.Duration(interval.Seconds()), core.DefaultThresholds())
+	if *sflowPath != "" {
+		if err := tailLog(mon, *sflowPath, *follow); err != nil {
+			fmt.Fprintln(os.Stderr, "ixpmon:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "building campaign (scale %.2f)...\n", *scale)
+		c := ecosystem.NewCampaign(ecosystem.DefaultCampaignConfig(*scale))
+		window := simclock.Window{
+			Start: simclock.MeasurementStart,
+			End:   simclock.MeasurementStart.Add(simclock.Days(*days)),
+		}
+		src := source.NewSynthetic(ecosystem.NewGenerator(c, 11), window)
 
-	// Monitor.Consume prefetches day traffic in parallel while the
-	// (stateful, order-dependent) monitor consumes days in order.
-	mon.Consume(src, c.Topo, *concurrency, func(day simclock.Time, n int) {
-		fmt.Fprintf(os.Stderr, "%s: %d samples processed\n", day.Date(), n)
-	})
+		// Monitor.Consume prefetches day traffic in parallel while the
+		// (stateful, order-dependent) monitor consumes days in order.
+		mon.Consume(src, c.Topo, *concurrency, func(day simclock.Time, n int) {
+			fmt.Fprintf(os.Stderr, "%s: %d samples processed\n", day.Date(), n)
+		})
+	}
 
 	fmt.Println("day          victims  /24s  /16s  /8s   name-list Jaccard vs prev day")
 	for _, d := range mon.Days() {

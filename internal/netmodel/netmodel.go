@@ -261,6 +261,9 @@ func EncodeUDPPacket(eth Ethernet, ip IPv4, udp UDP, payload []byte) []byte {
 }
 
 // Truncate clips a frame to snaplen bytes, the IXP capture behaviour.
+// The result aliases frame: callers that retain it past a reuse of the
+// underlying buffer must copy it (sflow.Sampler does at its take/ingest
+// boundary).
 func Truncate(frame []byte, snaplen int) []byte {
 	if len(frame) <= snaplen {
 		return frame

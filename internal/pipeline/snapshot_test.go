@@ -1,0 +1,40 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/source"
+)
+
+// TestSnapshotStudyMatchesLive is the cross-process determinism golden
+// test for persisted batch snapshots: recording the synthetic source,
+// serializing it to the snapshot format, loading it back (as another
+// process would), and running the full pipeline over the loaded
+// source must produce a Study identical to running the live synthetic
+// source directly — detections, records, aggregates, capture stats,
+// honeypot inference, and name list included.
+func TestSnapshotStudyMatchesLive(t *testing.T) {
+	cfg := runnerConfig()
+	cfg.Concurrency = 8
+
+	r := NewRunner(cfg)
+	r.Plan()
+	rec := source.Record(r.Src)
+	var buf bytes.Buffer
+	if err := rec.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	want := r.Study()
+
+	loaded, err := source.OpenSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	if loaded.Table() == r.Src.Table() {
+		t.Fatal("loaded snapshot shares the live table; the cross-process claim needs a fresh one")
+	}
+	got := NewRunnerWithSource(cfg, ecosystem.NewCampaign(cfg.Campaign), loaded).Study()
+	checkStudiesEqual(t, "snapshot", want, got)
+}

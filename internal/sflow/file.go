@@ -1,0 +1,233 @@
+// Datagram log: the on-disk form of a collector's sFlow feed. Real
+// collectors timestamp datagrams on arrival (the datagram itself only
+// carries agent uptime), so the log is a sequence of entries
+//
+//	[int64 arrival time, unix seconds][uint32 length][sFlow v5 datagram]
+//
+// after an 8-byte magic + version header, every integer little-endian.
+// Records sharing one arrival second are batched into one datagram
+// (bounded by maxLogSamples), mirroring how an agent packs samples
+// until the MTU or a timeout flushes.
+package sflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dnsamp/internal/simclock"
+)
+
+// Log file framing.
+var logMagic = [8]byte{'s', 'F', 'l', 'o', 'w', 'L', 'o', 'g'}
+
+const (
+	logVersion = 1
+	// maxLogSamples bounds samples per datagram on write.
+	maxLogSamples = 64
+	// maxLogDatagram bounds the datagram length accepted on read.
+	maxLogDatagram = 1 << 20
+)
+
+// ErrLog is wrapped by log framing failures (a bad magic, an oversized
+// entry). Truncation mid-entry surfaces as io.ErrUnexpectedEOF.
+var ErrLog = errors.New("sflow: malformed datagram log")
+
+// LogWriter serializes sampled records as a timestamped sFlow v5
+// datagram log. Records must be added in non-decreasing time order to
+// get the canonical one-datagram-per-second batching; out-of-order
+// times still round-trip (each time change flushes a datagram).
+type LogWriter struct {
+	w     io.Writer
+	agent [4]byte
+	rate  uint32
+
+	cur     Datagram
+	curTime simclock.Time
+	dgSeq   uint32
+	err     error
+}
+
+// NewLogWriter writes the log header and returns a writer attributing
+// datagrams to the given agent address. rate is the sampling
+// denominator recorded in every flow sample (<= 0 means DefaultRate).
+func NewLogWriter(w io.Writer, agent [4]byte, rate int) (*LogWriter, error) {
+	if rate <= 0 {
+		rate = DefaultRate
+	}
+	var hdr [12]byte
+	copy(hdr[:8], logMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], logVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &LogWriter{w: w, agent: agent, rate: uint32(rate)}, nil
+}
+
+// Add appends one sampled record. input is the ingress interface
+// attribution carried in the flow sample's input field (the simulation
+// stores the ingress member ASN there; 0 = derive from the source
+// address), matching ecosystem.TaggedRecord.Ingress.
+//
+// rec.Frame is retained (not copied) until its datagram is flushed —
+// at the next time change, every maxLogSamples records, or Flush —
+// so callers must not reuse the frame buffer before then. Records
+// from Sampler own their bytes already.
+func (lw *LogWriter) Add(rec Record, input uint32) error {
+	if lw.err != nil {
+		return lw.err
+	}
+	if len(lw.cur.Samples) > 0 && (rec.Time != lw.curTime || len(lw.cur.Samples) >= maxLogSamples) {
+		lw.flush()
+	}
+	lw.curTime = rec.Time
+	lw.cur.Samples = append(lw.cur.Samples, FlowSample{
+		Seq:      uint32(rec.Seq),
+		SourceID: 1,
+		Rate:     lw.rate,
+		Pool:     uint32(rec.Seq) * lw.rate,
+		Input:    input,
+		FrameLen: uint32(rec.FrameLen),
+		Header:   rec.Frame,
+	})
+	return lw.err
+}
+
+// Flush writes any buffered samples as a final datagram. Call once
+// after the last Add.
+func (lw *LogWriter) Flush() error {
+	if len(lw.cur.Samples) > 0 {
+		lw.flush()
+	}
+	return lw.err
+}
+
+func (lw *LogWriter) flush() {
+	if lw.err != nil {
+		return
+	}
+	lw.dgSeq++
+	lw.cur.Agent = lw.agent
+	lw.cur.Seq = lw.dgSeq
+	body := EncodeDatagram(&lw.cur)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(lw.curTime))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(body)))
+	if _, err := lw.w.Write(hdr[:]); err != nil {
+		lw.err = err
+	} else if _, err := lw.w.Write(body); err != nil {
+		lw.err = err
+	}
+	lw.cur.Samples = lw.cur.Samples[:0]
+}
+
+// LogReader streams records back out of a datagram log. It reads
+// entries into one reused buffer — safe because ParseDatagram copies
+// header bytes out — and is tail-capable: a Next that hits end of
+// input mid-entry returns io.ErrUnexpectedEOF but keeps its partial
+// state, so calling Next again after the underlying file has grown
+// resumes exactly where it stopped (cmd/ixpmon's -follow mode).
+type LogReader struct {
+	r io.Reader
+
+	// entry accumulates the current partially read entry; have is how
+	// many bytes of it have been read so far.
+	entry []byte
+	have  int
+	want  int // 0 = header not complete yet
+
+	dg    *Datagram
+	next  int
+	dgT   simclock.Time
+	atEOF bool
+}
+
+// NewLogReader validates the log header and returns a streaming
+// reader.
+func NewLogReader(r io.Reader) (*LogReader, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("%w: short header (%v)", ErrLog, err)
+	}
+	if [8]byte(hdr[:8]) != logMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrLog)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != logVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrLog, v)
+	}
+	return &LogReader{r: r}, nil
+}
+
+// fill grows the current entry to n bytes, returning io.EOF (have ==
+// 0) or io.ErrUnexpectedEOF (mid-entry) when the input runs dry. Both
+// leave the reader resumable.
+func (lr *LogReader) fill(n int) error {
+	if cap(lr.entry) < n {
+		lr.entry = append(make([]byte, 0, n), lr.entry[:lr.have]...)
+	}
+	lr.entry = lr.entry[:n]
+	for lr.have < n {
+		m, err := lr.r.Read(lr.entry[lr.have:n])
+		lr.have += m
+		if lr.have >= n {
+			return nil
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				if lr.have == 0 {
+					return io.EOF
+				}
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Next returns the next sampled record and its flow-sample input field
+// (the ingress attribution). It returns io.EOF at a clean end of log
+// and io.ErrUnexpectedEOF when the log stops mid-entry; after either,
+// Next may be called again once the underlying reader has more data.
+func (lr *LogReader) Next() (Record, uint32, error) {
+	for lr.dg == nil || lr.next >= len(lr.dg.Samples) {
+		if err := lr.readEntry(); err != nil {
+			return Record{}, 0, err
+		}
+	}
+	s := &lr.dg.Samples[lr.next]
+	lr.next++
+	return Record{
+		Time:     lr.dgT,
+		Frame:    s.Header,
+		FrameLen: int(s.FrameLen),
+		Seq:      uint64(s.Seq),
+	}, s.Input, nil
+}
+
+// readEntry reads and parses the next timestamped datagram entry.
+func (lr *LogReader) readEntry() error {
+	lr.dg, lr.next = nil, 0
+	if err := lr.fill(12); err != nil {
+		return err
+	}
+	ln := int(binary.LittleEndian.Uint32(lr.entry[8:12]))
+	if ln > maxLogDatagram {
+		return fmt.Errorf("%w: %d-byte datagram entry", ErrLog, ln)
+	}
+	if err := lr.fill(12 + ln); err != nil {
+		return err
+	}
+	t := simclock.Time(int64(binary.LittleEndian.Uint64(lr.entry[:8])))
+	dg, err := ParseDatagram(lr.entry[12 : 12+ln])
+	if err != nil {
+		return err
+	}
+	lr.dg, lr.dgT = dg, t
+	lr.have = 0 // entry consumed; reuse the buffer
+	return nil
+}

@@ -27,11 +27,17 @@ const (
 	DefaultSnaplen = 128   // bytes kept per sampled packet
 )
 
-// Sampler draws packet samples.
+// Sampler draws packet samples. The zero value is usable: Rate and
+// Snaplen default to the paper's capture configuration and the random
+// source to a fixed seed, so a zero-value Sampler samples
+// deterministically instead of panicking in rng.Intn / dividing by
+// zero in ThinFlow.
 type Sampler struct {
-	// Rate is the sampling denominator N (1 in N).
+	// Rate is the sampling denominator N (1 in N). Zero or negative
+	// means DefaultRate.
 	Rate int
-	// Snaplen is the truncation length.
+	// Snaplen is the truncation length. Zero or negative means
+	// DefaultSnaplen.
 	Snaplen int
 
 	rng *rand.Rand
@@ -43,10 +49,37 @@ func NewSampler(seed int64) *Sampler {
 	return &Sampler{Rate: DefaultRate, Snaplen: DefaultSnaplen, rng: rand.New(rand.NewSource(seed))}
 }
 
+// rate returns the effective sampling denominator.
+func (s *Sampler) rate() int {
+	if s.Rate <= 0 {
+		return DefaultRate
+	}
+	return s.Rate
+}
+
+// snaplen returns the effective truncation length.
+func (s *Sampler) snaplen() int {
+	if s.Snaplen <= 0 {
+		return DefaultSnaplen
+	}
+	return s.Snaplen
+}
+
+// random returns the sampler's random source, lazily seeding a
+// zero-value Sampler.
+func (s *Sampler) random() *rand.Rand {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(0))
+	}
+	return s.rng
+}
+
 // Record is one sampled, truncated frame with capture metadata.
 type Record struct {
 	Time simclock.Time
-	// Frame is the truncated wire frame (at most Snaplen bytes).
+	// Frame is the truncated wire frame (at most Snaplen bytes). It is
+	// owned by the record: take copies out of the caller's buffer, so
+	// readers may reuse theirs between packets.
 	Frame []byte
 	// FrameLen is the original frame length before truncation.
 	FrameLen int
@@ -59,7 +92,7 @@ type Record struct {
 // each packet is chosen independently with probability 1/Rate ("sampling
 // selects 1 out of 16k and not every 16kth packet", §6.1).
 func (s *Sampler) SamplePacket(t simclock.Time, frame []byte) (Record, bool) {
-	if s.rng.Intn(s.Rate) != 0 {
+	if s.random().Intn(s.rate()) != 0 {
 		return Record{}, false
 	}
 	return s.take(t, frame), true
@@ -67,7 +100,7 @@ func (s *Sampler) SamplePacket(t simclock.Time, frame []byte) (Record, bool) {
 
 // ThinFlow returns how many packets of an n-packet flow are sampled.
 func (s *Sampler) ThinFlow(n int) int {
-	return stats.Binomial(s.rng, n, 1/float64(s.Rate))
+	return stats.Binomial(s.random(), n, 1/float64(s.rate()))
 }
 
 // Take records a frame unconditionally (used after ThinFlow has already
@@ -78,9 +111,14 @@ func (s *Sampler) Take(t simclock.Time, frame []byte) Record {
 
 func (s *Sampler) take(t simclock.Time, frame []byte) Record {
 	s.seq++
+	// netmodel.Truncate returns a view into the caller's frame; copy so
+	// the record owns its bytes. Readers (the pcap and sFlow-datagram
+	// ingestion paths) legitimately reuse one read buffer between
+	// packets — an aliased Frame would silently corrupt every
+	// previously sampled record.
 	return Record{
 		Time:     t,
-		Frame:    netmodel.Truncate(frame, s.Snaplen),
+		Frame:    append([]byte(nil), netmodel.Truncate(frame, s.snaplen())...),
 		FrameLen: len(frame),
 		Seq:      s.seq,
 	}
@@ -89,4 +127,4 @@ func (s *Sampler) take(t simclock.Time, frame []byte) Record {
 // RNG exposes the sampler's random source so traffic generators can draw
 // correlated decisions (e.g. timestamps of sampled packets) without
 // maintaining a second seed.
-func (s *Sampler) RNG() *rand.Rand { return s.rng }
+func (s *Sampler) RNG() *rand.Rand { return s.random() }

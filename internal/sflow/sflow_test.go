@@ -1,6 +1,7 @@
 package sflow
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -88,6 +89,78 @@ func TestThinFlowMatchesPerPacket(t *testing.T) {
 	mPkt := float64(sumPkt) / trials
 	if math.Abs(mThin-mPkt) > 8 {
 		t.Errorf("thinning mean %.1f vs per-packet mean %.1f", mThin, mPkt)
+	}
+}
+
+// TestTakeOwnsFrame is the frame-aliasing regression test: a reader
+// that reuses its read buffer between packets must not corrupt
+// previously sampled records. Before the fix, Record.Frame aliased the
+// caller's buffer through netmodel.Truncate.
+func TestTakeOwnsFrame(t *testing.T) {
+	s := NewSampler(9)
+	buf := make([]byte, 300)
+	var recs []Record
+	var want [][]byte
+	for i := 0; i < 4; i++ {
+		for j := range buf {
+			buf[j] = byte(i*31 + j)
+		}
+		frame := buf[:60+i*80] // varying lengths, same backing array
+		want = append(want, append([]byte(nil), truncRef(frame, s.Snaplen)...))
+		recs = append(recs, s.Take(simclock.MeasurementStart, frame))
+	}
+	for j := range buf {
+		buf[j] = 0xee // reader reuses its buffer
+	}
+	for i, rec := range recs {
+		if !bytes.Equal(rec.Frame, want[i]) {
+			t.Fatalf("record %d corrupted by buffer reuse:\nwant %x\ngot  %x", i, want[i], rec.Frame)
+		}
+	}
+}
+
+// truncRef mirrors the capture clip for the expectation
+// (kept local so the test states the intended bytes independently).
+func truncRef(frame []byte, snaplen int) []byte {
+	if len(frame) <= snaplen {
+		return frame
+	}
+	return frame[:snaplen]
+}
+
+// TestZeroValueSampler pins the validated defaults: a zero-value
+// Sampler must sample and thin without panicking (SamplePacket used to
+// call rng.Intn(0) and ThinFlow divided by a zero rate).
+func TestZeroValueSampler(t *testing.T) {
+	var s Sampler
+	frame := make([]byte, 200)
+	for i := 0; i < 5_000; i++ {
+		if rec, ok := s.SamplePacket(simclock.MeasurementStart, frame); ok {
+			if len(rec.Frame) != DefaultSnaplen {
+				t.Fatalf("zero-value snaplen = %d, want %d", len(rec.Frame), DefaultSnaplen)
+			}
+		}
+	}
+	var s2 Sampler
+	total := 0
+	for i := 0; i < 50; i++ {
+		k := s2.ThinFlow(DefaultRate * 4)
+		if k < 0 || k > DefaultRate*4 {
+			t.Fatalf("ThinFlow out of range: %d", k)
+		}
+		total += k
+	}
+	if mean := float64(total) / 50; math.Abs(mean-4) > 3 {
+		t.Errorf("zero-value ThinFlow mean = %.1f, want ~4 (1:%d default)", mean, DefaultRate)
+	}
+	var s3 Sampler
+	rec := s3.Take(0, make([]byte, 500))
+	if len(rec.Frame) != DefaultSnaplen || rec.FrameLen != 500 {
+		t.Errorf("zero-value Take = %d-byte frame (orig %d), want %d/500",
+			len(rec.Frame), rec.FrameLen, DefaultSnaplen)
+	}
+	if s3.RNG() == nil {
+		t.Error("zero-value RNG() must lazily seed, not return nil")
 	}
 }
 

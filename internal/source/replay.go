@@ -1,6 +1,7 @@
 package source
 
 import (
+	"fmt"
 	"slices"
 
 	"dnsamp/internal/ecosystem"
@@ -28,6 +29,11 @@ type Replay struct {
 type replayDay struct {
 	batch   *ixp.SampleBatch
 	sensors []ecosystem.SensorFlow
+	// owned marks batches built by AddFrames: only those may be
+	// appended to on repeated ingestion — AddDay batches are shared
+	// with their producer (Record does not copy) and must stay
+	// immutable.
+	owned bool
 }
 
 // NewReplay creates an empty replay source interning names into tab
@@ -53,7 +59,8 @@ func Record(src Source) *Replay {
 
 // AddDay stores one recorded day. The batch's table need not be the
 // replay table: consumers remap through ixp.CapturePoint.ConsumeBatch.
-// Adding the same day twice replaces it.
+// Adding the same day twice replaces it wholesale — batch, counters,
+// and sensors (use AddFrames to accumulate into an existing day).
 func (r *Replay) AddDay(day simclock.Time, batch *ixp.SampleBatch, sensors []ecosystem.SensorFlow) {
 	day = day.StartOfDay()
 	if _, ok := r.byDay[day]; !ok {
@@ -69,9 +76,28 @@ func (r *Replay) AddDay(day simclock.Time, batch *ixp.SampleBatch, sensors []eco
 // appended in arrival order with their ingress-port tags preserved.
 // AS annotation is not baked in — it happens at consumption time, so a
 // recorded day can be replayed against any routing substrate.
-func (r *Replay) AddFrames(day simclock.Time, recs []ecosystem.TaggedRecord, sensors []ecosystem.SensorFlow) {
+//
+// Ingesting the same day again accumulates: the new frames append to
+// the existing batch and the sanitization counters and sensor flows
+// add up, so a day arriving in several reads (chunked logs, tailing a
+// live capture) loses nothing. The one rejected case is a day whose
+// batch came in through AddDay: those batches are shared with their
+// producer (Record does not copy), so appending would mutate state the
+// replay does not own.
+func (r *Replay) AddFrames(day simclock.Time, recs []ecosystem.TaggedRecord, sensors []ecosystem.SensorFlow) error {
+	day = day.StartOfDay()
+	rd, ok := r.byDay[day]
+	if !ok {
+		rd = &replayDay{batch: &ixp.SampleBatch{Table: r.tab}, owned: true}
+		r.byDay[day] = rd
+		r.days = append(r.days, day)
+		slices.Sort(r.days)
+	}
+	if !rd.owned {
+		return fmt.Errorf("source: day %s holds a batch recorded via AddDay (shared with its producer); cannot ingest frames into it", day.Date())
+	}
+	b := rd.batch
 	cp := ixp.NewCapturePoint(nil, r.tab)
-	b := &ixp.SampleBatch{Table: r.tab}
 	b.Grow(len(recs))
 	for _, tr := range recs {
 		s, ok := cp.Process(tr.Rec)
@@ -80,11 +106,12 @@ func (r *Replay) AddFrames(day simclock.Time, recs []ecosystem.TaggedRecord, sen
 		}
 		b.AppendSample(&s, tr.Ingress)
 	}
-	b.Frames = cp.Stats.Frames
-	b.NonUDP = cp.Stats.NonUDP
-	b.NonDNS = cp.Stats.NonDNS
-	b.Malformed = cp.Stats.Malformed
-	r.AddDay(day, b, sensors)
+	b.Frames += cp.Stats.Frames
+	b.NonUDP += cp.Stats.NonUDP
+	b.NonDNS += cp.Stats.NonDNS
+	b.Malformed += cp.Stats.Malformed
+	rd.sensors = append(rd.sensors, sensors...)
+	return nil
 }
 
 // Table returns the replay's interning space.
