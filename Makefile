@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare fuzz fmt vet ci
+.PHONY: all build test race bench bench-baseline bench-compare fuzz fmt vet daemon-smoke ci
 
 all: build test
 
@@ -41,10 +41,16 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseDatagram -fuzztime 10s ./internal/sflow
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/pcap
 
+# Daemon smoke: service-mode ixpmon fed a generated sFlow log over
+# UDP must serve non-empty /metrics and /detections and exit cleanly
+# on SIGTERM.
+daemon-smoke:
+	./scripts/daemon_smoke.sh
+
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
 
-ci: build fmt vet test race fuzz bench
+ci: build fmt vet test race fuzz bench daemon-smoke

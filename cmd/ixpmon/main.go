@@ -1,41 +1,72 @@
-// Command ixpmon is the live-monitoring prototype of §4.3: it streams
-// sampled IXP traffic through the online monitor, which refreshes the
-// misused-name list periodically (at most 5 minutes of delay in the
-// paper) and reports daily victim aggregates and name-list churn.
+// Command ixpmon is the live-monitoring side of §4.3. It runs in three
+// modes:
 //
-// Traffic comes from the synthetic campaign by default; with -sflow it
-// is read from an sFlow v5 datagram log instead, in arrival order the
-// way a collector socket would deliver it. -follow keeps the monitor
-// attached after the last complete entry, tailing the file for
-// appended datagrams (the log reader resumes mid-entry, so a partially
-// flushed write is picked up once complete).
+// Batch monitor (default, and with -sflow): streams sampled IXP
+// traffic through the online monitor, which refreshes the misused-name
+// list periodically (at most 5 minutes of delay in the paper) and
+// reports daily victim aggregates and name-list churn. Traffic comes
+// from the synthetic campaign by default; with -sflow it is read from
+// an sFlow v5 datagram log in arrival order the way a collector socket
+// would deliver it. -follow keeps the monitor attached after the last
+// complete entry, tailing the file for appended datagrams with a
+// capped exponential backoff (the log reader resumes mid-entry, so a
+// partially flushed write is picked up once complete); interrupt it to
+// get the summary, including time spent waiting in the per-stage
+// timings.
+//
+// Service mode (-serve): an always-on daemon ingesting sFlow v5
+// datagrams over UDP from any number of collectors, aggregating them
+// in a sliding window, and serving /detections, /stages, /sources,
+// /metrics, and /window over HTTP. SIGINT/SIGTERM shuts it down
+// gracefully (the day in progress is finalized and detections
+// reported). See docs/OPERATIONS.md for the full surface.
+//
+// Sender mode (-send): replays a recorded datagram log over UDP to a
+// service-mode instance, carrying each entry's capture time in the
+// datagram Uptime field (pair with -serve -timestamps uptime).
 //
 // Usage:
 //
 //	ixpmon [-scale 0.05] [-days 14] [-interval 5m] [-concurrency 0]
 //	ixpmon -sflow FILE [-follow] [-interval 5m] [-names 29]
+//	ixpmon -serve [-listen ADDR] [-http ADDR] [-window 7] [-timestamps wall|uptime]
+//	ixpmon -send FILE -to ADDR [-burst 64] [-pause 2ms]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dnsamp/internal/core"
 	"dnsamp/internal/ecosystem"
 	"dnsamp/internal/ixp"
+	"dnsamp/internal/server"
 	"dnsamp/internal/sflow"
 	"dnsamp/internal/simclock"
 	"dnsamp/internal/source"
 )
 
+// Tail backoff bounds: reset to min whenever data arrives, double up
+// to max while the log is idle — a tailer of a quiet log costs a
+// couple of wakeups per second instead of a constant busy-poll.
+const (
+	tailWaitMin = 50 * time.Millisecond
+	tailWaitMax = 5 * time.Second
+)
+
 // tailLog feeds a datagram log through the monitor in arrival order.
 // With follow, end-of-input waits for the file to grow instead of
-// finishing.
-func tailLog(mon *core.Monitor, path string, follow bool) error {
+// finishing; a signal on stop ends the tail and flushes the summary.
+// Wait and processing time accumulate in stages.
+func tailLog(mon *core.Monitor, path string, follow bool, stop <-chan os.Signal, stages *server.Stages) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -51,21 +82,33 @@ func tailLog(mon *core.Monitor, path string, follow bool) error {
 	var last simclock.Time
 	n, dayN := 0, 0
 	curDay := simclock.Time(-1)
+	wait := tailWaitMin
 	for {
+		stopProcess := stages.Track("process")
 		rec, input, err := lr.Next()
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			stopProcess()
 			if follow {
-				time.Sleep(500 * time.Millisecond)
-				continue
-			}
-			if errors.Is(err, io.ErrUnexpectedEOF) {
+				select {
+				case sig := <-stop:
+					fmt.Fprintf(os.Stderr, "ixpmon: %v: closing tail\n", sig)
+				case <-time.After(wait):
+					stages.Add("wait", wait)
+					if wait *= 2; wait > tailWaitMax {
+						wait = tailWaitMax
+					}
+					continue
+				}
+			} else if errors.Is(err, io.ErrUnexpectedEOF) {
 				return fmt.Errorf("log truncated mid-entry after %d samples", n)
 			}
 			break
 		}
 		if err != nil {
+			stopProcess()
 			return err
 		}
+		wait = tailWaitMin // data arrived: the log is live again
 		if day := rec.Time.StartOfDay(); day != curDay {
 			if curDay >= 0 {
 				fmt.Fprintf(os.Stderr, "%s: %d samples processed\n", curDay.Date(), dayN)
@@ -81,15 +124,74 @@ func tailLog(mon *core.Monitor, path string, follow bool) error {
 			dayN++
 		}
 		last = rec.Time
+		stopProcess()
 	}
 	if curDay >= 0 {
 		fmt.Fprintf(os.Stderr, "%s: %d samples processed\n", curDay.Date(), dayN)
 	}
 	fmt.Fprintf(os.Stderr, "%d DNS samples processed from %s (%d sampled frames)\n", n, path, cp.Stats.Frames)
+	printStages(stages.Snapshot())
 	if n > 0 {
 		mon.Close(last.Add(simclock.Day))
 	}
 	return nil
+}
+
+// printStages writes accumulated per-stage timings to stderr.
+func printStages(stages []server.StageTiming) {
+	for _, st := range stages {
+		fmt.Fprintf(os.Stderr, "stage %-8s %8d calls  total %-14v mean %-12v max %v\n",
+			st.Stage, st.Count, st.Total.Round(time.Microsecond),
+			st.Mean().Round(time.Microsecond), st.Max.Round(time.Microsecond))
+	}
+}
+
+// runServe runs the always-on service until interrupted.
+func runServe(cfg server.Config) error {
+	svc := server.NewService(cfg)
+	if err := svc.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ixpmon: serving sflow on udp %s, control surface on http://%s (window %dd, refresh %v)\n",
+		svc.Addr(), svc.HTTPAddr(), cfg.Window.Days, time.Duration(cfg.Window.Refresh)*time.Second)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	fmt.Fprintf(os.Stderr, "ixpmon: %v: shutting down\n", sig)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		return err
+	}
+
+	ws := svc.WindowSnapshot()
+	fmt.Fprintf(os.Stderr, "ixpmon: %d datagrams received, %d consumed, %d shed; %d days closed, %d client-days evicted\n",
+		svc.Received(), svc.Consumed(), svc.QueueDrops(), ws.ClosedDays, ws.Evicted)
+	printStages(svc.StagesSnapshot())
+	dets := svc.DetectionsSnapshot()
+	fmt.Printf("detections: %d\n", len(dets))
+	for _, d := range dets {
+		fmt.Printf("  %s  %-15s %6d pkts  %5.1f%% misused\n", d.Date, d.Victim, d.Packets, 100*d.Share)
+	}
+	return nil
+}
+
+// runSend replays a datagram log over UDP.
+func runSend(path, to string, burst int, pause time.Duration) error {
+	conn, err := net.Dial("udp", to)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := server.SendLog(conn, f, burst, pause)
+	fmt.Fprintf(os.Stderr, "ixpmon: sent %d datagrams from %s to %s\n", n, path, to)
+	return err
 }
 
 func main() {
@@ -100,11 +202,55 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "day-traffic prefetch width (0 = all cores, 1 = serial; output is identical)")
 	sflowPath := flag.String("sflow", "", "monitor an sFlow v5 datagram log instead of synthesizing traffic")
 	follow := flag.Bool("follow", false, "with -sflow: keep tailing the log for appended datagrams")
+
+	serve := flag.Bool("serve", false, "run as an always-on UDP sFlow service")
+	listen := flag.String("listen", "127.0.0.1:6343", "with -serve: UDP listen address for sFlow datagrams")
+	httpAddr := flag.String("http", "127.0.0.1:8080", "with -serve: HTTP listen address for the control surface")
+	windowDays := flag.Int("window", 7, "with -serve: sliding window width in days")
+	timestamps := flag.String("timestamps", "wall", "with -serve: datagram time source, wall|uptime (uptime = replayed capture time)")
+
+	sendPath := flag.String("send", "", "replay a datagram log over UDP to a -serve instance and exit")
+	sendTo := flag.String("to", "127.0.0.1:6343", "with -send: destination address")
+	burst := flag.Int("burst", 64, "with -send: datagrams per pacing burst (<= 0 sends flat out)")
+	pause := flag.Duration("pause", 2*time.Millisecond, "with -send: pause between bursts")
 	flag.Parse()
+
+	switch {
+	case *serve:
+		if *timestamps != "wall" && *timestamps != "uptime" {
+			fmt.Fprintln(os.Stderr, "ixpmon: -timestamps must be wall or uptime")
+			os.Exit(2)
+		}
+		err := runServe(server.Config{
+			UDPAddr:        *listen,
+			HTTPAddr:       *httpAddr,
+			TimeFromUptime: *timestamps == "uptime",
+			Window: server.WindowConfig{
+				Days:     *windowDays,
+				ListSize: *listSize,
+				Refresh:  simclock.Duration(interval.Seconds()),
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ixpmon:", err)
+			os.Exit(1)
+		}
+		return
+	case *sendPath != "":
+		if err := runSend(*sendPath, *sendTo, *burst, *pause); err != nil {
+			fmt.Fprintln(os.Stderr, "ixpmon:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	mon := core.NewMonitor(*listSize, simclock.Duration(interval.Seconds()), core.DefaultThresholds())
 	if *sflowPath != "" {
-		if err := tailLog(mon, *sflowPath, *follow); err != nil {
+		stop := make(chan os.Signal, 1)
+		if *follow {
+			signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		}
+		if err := tailLog(mon, *sflowPath, *follow, stop, server.NewStages()); err != nil {
 			fmt.Fprintln(os.Stderr, "ixpmon:", err)
 			os.Exit(1)
 		}

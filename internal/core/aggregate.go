@@ -319,9 +319,18 @@ func (ag *Aggregator) growIndex() {
 }
 
 // rebuildIndex re-keys the probe table over the current arena at the
-// given size (a power of two).
+// given size (a power of two). When the current table already has that
+// size its storage is reused (cleared and refilled) — the steady state
+// of a sliding-window aggregator that evicts and refills roughly the
+// same number of client-days each day — so periodic rebuilds stop
+// allocating once the population stabilizes.
 func (ag *Aggregator) rebuildIndex(size int) {
-	ctrl := make([]uint32, size)
+	ctrl := ag.idx.ctrl
+	if len(ctrl) == size {
+		clear(ctrl)
+	} else {
+		ctrl = make([]uint32, size)
+	}
 	mask := uint32(size - 1)
 	for slot, key := range ag.arenaKeys {
 		i := key.hashKey() & mask
@@ -333,6 +342,53 @@ func (ag *Aggregator) rebuildIndex(size int) {
 	ag.idx.ctrl = ctrl
 	ag.idx.mask = mask
 }
+
+// EvictDaysBefore removes every (client, day) profile with Day < day
+// from the client-day arena and rebuilds the index over the survivors.
+// It is the sliding-window primitive: a long-running consumer advances
+// the window by evicting expired days instead of resetting the whole
+// aggregator, so unexpired profiles — including their tracked-name
+// lists and time bounds — survive untouched.
+//
+// The arena compacts in place, preserving the surviving entries'
+// relative order, and keeps its backing storage: evicted slots are
+// recycled by later growth rather than reallocated, so an aggregator
+// whose eviction keeps pace with its intake reaches a steady-state
+// arena capacity (the bound the eviction tests pin via ArenaCap). The
+// vacated tail is zeroed so evicted profiles do not pin their Tracked
+// slices through the retained array. Global and per-name statistics
+// are cumulative and unaffected — eviction bounds detection state, not
+// the selectors' view.
+//
+// Returns the number of evicted profiles.
+func (ag *Aggregator) EvictDaysBefore(day int) int {
+	keep := 0
+	for i := range ag.arena {
+		if ag.arenaKeys[i].Day >= day {
+			if keep != i {
+				ag.arena[keep] = ag.arena[i]
+				ag.arenaKeys[keep] = ag.arenaKeys[i]
+			}
+			keep++
+		}
+	}
+	evicted := len(ag.arena) - keep
+	if evicted == 0 {
+		return 0
+	}
+	clear(ag.arena[keep:])
+	ag.arena = ag.arena[:keep]
+	ag.arenaKeys = ag.arenaKeys[:keep]
+	ag.rebuildIndex(indexSizeFor(keep))
+	ag.idx.n = keep
+	return evicted
+}
+
+// ArenaCap exposes the client-day arena's current capacity — an
+// observability hook for eviction: a sliding-window consumer whose
+// eviction keeps up reaches a steady-state capacity, which the window
+// tests assert and the service's /metrics endpoint exports.
+func (ag *Aggregator) ArenaCap() int { return cap(ag.arena) }
 
 // ClientOf returns the profile of one (client, day) pair, nil when the
 // pair was never observed. The pointer is valid until the aggregator

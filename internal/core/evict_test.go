@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/simclock"
+)
+
+// evictSample builds a deterministic sample for (day, client, name).
+func evictSample(day, client int, name string, tab interface {
+	Intern(string) uint32
+	Name(uint32) string
+}) *ixp.DNSSample {
+	id := tab.Intern(name)
+	return &ixp.DNSSample{
+		Time:    simclock.MeasurementStart.Add(simclock.Days(day)).Add(simclock.Duration(client)),
+		Src:     [4]byte{10, 0, byte(client >> 8), byte(client)},
+		Dst:     [4]byte{198, 51, 100, 1},
+		Name:    id,
+		QName:   tab.Name(id),
+		MsgSize: 100 + client%7,
+	}
+}
+
+// TestEvictDaysBeforeKeepsUnexpired pins the no-loss contract: after an
+// eviction, every unexpired (client, day) profile is still present and
+// byte-identical to its pre-eviction state, and every expired one is
+// gone.
+func TestEvictDaysBeforeKeepsUnexpired(t *testing.T) {
+	ag := NewAggregator(nil, nil)
+	ag.SetTrackAll(true)
+	const days, clients = 6, 40
+	for d := 0; d < days; d++ {
+		for c := 0; c < clients; c++ {
+			ag.Observe(evictSample(d, c, fmt.Sprintf("zone%d.example.", c%5), ag.Table))
+		}
+	}
+	before := make(map[ClientDay]ClientAgg, ag.NumClients())
+	ag.EachClient(func(key ClientDay, ca *ClientAgg) {
+		cp := *ca
+		cp.Tracked = append([]NameCount(nil), ca.Tracked...)
+		before[key] = cp
+	})
+
+	cutDay := simclock.MeasurementStart.Add(simclock.Days(3)).Day()
+	evicted := ag.EvictDaysBefore(cutDay)
+	if want := 3 * clients; evicted != want {
+		t.Fatalf("evicted %d profiles, want %d", evicted, want)
+	}
+	if got, want := ag.NumClients(), (days-3)*clients; got != want {
+		t.Fatalf("NumClients after eviction = %d, want %d", got, want)
+	}
+	seen := 0
+	ag.EachClient(func(key ClientDay, ca *ClientAgg) {
+		seen++
+		if key.Day < cutDay {
+			t.Fatalf("expired key %v survived eviction", key)
+		}
+		want := before[key]
+		if !reflect.DeepEqual(*ca, want) {
+			t.Fatalf("profile of %v changed across eviction:\n got %+v\nwant %+v", key, *ca, want)
+		}
+	})
+	if seen != ag.NumClients() {
+		t.Fatalf("EachClient visited %d profiles, NumClients says %d", seen, ag.NumClients())
+	}
+	// The index must agree with the arena: every survivor resolvable,
+	// every evicted key gone.
+	for key := range before {
+		ca := ag.ClientOf(key)
+		if key.Day < cutDay {
+			if ca != nil {
+				t.Fatalf("ClientOf(%v) resolved an evicted profile", key)
+			}
+		} else if ca == nil {
+			t.Fatalf("ClientOf(%v) lost a surviving profile", key)
+		}
+	}
+}
+
+// TestEvictDaysBeforeNoop covers the fast path: a cutoff at or below
+// the oldest day must not touch the aggregator.
+func TestEvictDaysBeforeNoop(t *testing.T) {
+	ag := NewAggregator(nil, nil)
+	ag.SetTrackAll(true)
+	for c := 0; c < 10; c++ {
+		ag.Observe(evictSample(2, c, "zone.example.", ag.Table))
+	}
+	if n := ag.EvictDaysBefore(simclock.MeasurementStart.Day()); n != 0 {
+		t.Fatalf("eviction below the oldest day removed %d profiles", n)
+	}
+	if got := ag.NumClients(); got != 10 {
+		t.Fatalf("NumClients after no-op eviction = %d, want 10", got)
+	}
+}
+
+// TestEvictRecyclesArenaSlots is the arena-size assertion: a sliding
+// window that advances day by day over a steady per-day client
+// population must reach a fixed arena capacity — evicted slots are
+// recycled by later growth, not reallocated — and a fixed index size.
+func TestEvictRecyclesArenaSlots(t *testing.T) {
+	ag := NewAggregator(nil, nil)
+	ag.SetTrackAll(true)
+	const window, clients, totalDays = 3, 64, 40
+	var steadyCap, steadyIdx int
+	for d := 0; d < totalDays; d++ {
+		for c := 0; c < clients; c++ {
+			ag.Observe(evictSample(d, c, "zone.example.", ag.Table))
+		}
+		cut := simclock.MeasurementStart.Add(simclock.Days(d)).Day() - window + 1
+		ag.EvictDaysBefore(cut)
+		if got, want := ag.NumClients(), min(d+1, window)*clients; got != want {
+			t.Fatalf("day %d: NumClients = %d, want %d", d, got, want)
+		}
+		if d == window+2 {
+			// The population is steady from here: record the bound.
+			steadyCap, steadyIdx = ag.ArenaCap(), len(ag.idx.ctrl)
+		}
+		if d > window+2 {
+			if ag.ArenaCap() > steadyCap {
+				t.Fatalf("day %d: arena capacity grew %d -> %d despite steady population (slots not recycled)",
+					d, steadyCap, ag.ArenaCap())
+			}
+			if len(ag.idx.ctrl) != steadyIdx {
+				t.Fatalf("day %d: index size changed %d -> %d despite steady population", d, steadyIdx, len(ag.idx.ctrl))
+			}
+		}
+	}
+}
+
+// TestEvictThenDetect proves eviction composes with the columnar
+// detection sweep: detections over the surviving window equal those of
+// a fresh aggregator that only ever saw the surviving days.
+func TestEvictThenDetect(t *testing.T) {
+	names := map[string]bool{"zone0.example.": true, "zone1.example.": true}
+	th := Thresholds{MinShare: 0.5, MinPackets: 3}
+	feed := func(ag *Aggregator, fromDay, toDay int) {
+		for d := fromDay; d < toDay; d++ {
+			for c := 0; c < 20; c++ {
+				for p := 0; p < 3+c%3; p++ {
+					ag.Observe(evictSample(d, c, fmt.Sprintf("zone%d.example.", c%4), ag.Table))
+				}
+			}
+		}
+	}
+	evicting := NewAggregator(nil, nil)
+	evicting.SetTrackAll(true)
+	feed(evicting, 0, 8)
+	cut := simclock.MeasurementStart.Add(simclock.Days(5)).Day()
+	evicting.EvictDaysBefore(cut)
+
+	fresh := NewAggregator(nil, nil)
+	fresh.SetTrackAll(true)
+	feed(fresh, 5, 8)
+
+	got := Detect(evicting, names, th)
+	want := Detect(fresh, names, th)
+	if len(want) == 0 {
+		t.Fatal("reference detection found nothing; the fixture is too weak")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("detections diverge after eviction:\n got %d detections\nwant %d", len(got), len(want))
+	}
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Register("svc_datagrams_total", "Datagrams received per source.", Counter, func(emit Emit) {
+		emit(41, "agent", "192.0.2.1", "subagent", "0")
+		emit(1.5, "agent", "192.0.2.2", "subagent", "1")
+	})
+	r.Register("svc_window_days", "Sliding window width.", Gauge, func(emit Emit) {
+		emit(7)
+	})
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	want := `# HELP svc_datagrams_total Datagrams received per source.
+# TYPE svc_datagrams_total counter
+svc_datagrams_total{agent="192.0.2.1",subagent="0"} 41
+svc_datagrams_total{agent="192.0.2.2",subagent="1"} 1.5
+# HELP svc_window_days Sliding window width.
+# TYPE svc_window_days gauge
+svc_window_days 7
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestCollectAtScrape(t *testing.T) {
+	n := 0.0
+	r := NewRegistry()
+	r.Register("live_value", "Reads current state at every render.", Gauge, func(emit Emit) {
+		emit(n)
+	})
+	render := func() string {
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		return b.String()
+	}
+	if got := render(); !strings.Contains(got, "live_value 0\n") {
+		t.Fatalf("first render missing zero sample:\n%s", got)
+	}
+	n = 3
+	if got := render(); !strings.Contains(got, "live_value 3\n") {
+		t.Fatalf("second render did not re-collect:\n%s", got)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Register("esc", "help with \\ and\nnewline", Gauge, func(emit Emit) {
+		emit(1, "k", "quote\" slash\\ nl\n")
+	})
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`# HELP esc help with \\ and\nnewline`,
+		`esc{k="quote\" slash\\ nl\n"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register("ok_name", "", Gauge, func(Emit) {})
+	for _, tc := range []struct{ name, reason string }{
+		{"ok_name", "duplicate"},
+		{"9starts_with_digit", "bad first char"},
+		{"has-dash", "bad char"},
+		{"", "empty"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) did not panic (%s)", tc.name, tc.reason)
+				}
+			}()
+			r.Register(tc.name, "", Gauge, func(Emit) {})
+		}()
+	}
+}

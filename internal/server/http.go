@@ -1,0 +1,164 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"dnsamp/internal/core"
+	"dnsamp/internal/metrics"
+)
+
+// Detection is the JSON form of a core.Detection served by
+// /detections: addresses dotted, days dated, timestamps RFC 3339.
+type Detection struct {
+	Victim           string  `json:"victim"`
+	Day              int     `json:"day"`
+	Date             string  `json:"date"`
+	Packets          int     `json:"packets"`
+	CandidatePackets int     `json:"candidatePackets"`
+	Share            float64 `json:"share"`
+	First            string  `json:"first"`
+	Last             string  `json:"last"`
+}
+
+func newDetection(d *core.Detection) *Detection {
+	return &Detection{
+		Victim:           fmt.Sprintf("%d.%d.%d.%d", d.Victim[0], d.Victim[1], d.Victim[2], d.Victim[3]),
+		Day:              d.Day,
+		Date:             d.First.Date(),
+		Packets:          d.Packets,
+		CandidatePackets: d.CandidatePackets,
+		Share:            d.Share,
+		First:            d.First.String(),
+		Last:             d.Last.String(),
+	}
+}
+
+// stageJSON is the /stages row: durations human-readable, mean
+// precomputed.
+type stageJSON struct {
+	Stage string `json:"stage"`
+	Count int64  `json:"count"`
+	Total string `json:"total"`
+	Mean  string `json:"mean"`
+	Max   string `json:"max"`
+}
+
+// handler builds the control-surface mux.
+func (s *Service) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WriteText(w)
+	})
+	mux.HandleFunc("/detections", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.DetectionsSnapshot())
+	})
+	mux.HandleFunc("/sources", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.SourcesSnapshot())
+	})
+	mux.HandleFunc("/stages", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.StagesSnapshot()
+		rows := make([]stageJSON, len(snap))
+		for i, st := range snap {
+			rows[i] = stageJSON{
+				Stage: st.Stage,
+				Count: st.Count,
+				Total: st.Total.String(),
+				Mean:  st.Mean().String(),
+				Max:   st.Max.String(),
+			}
+		}
+		writeJSON(w, rows)
+	})
+	mux.HandleFunc("/window", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.WindowSnapshot())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// registerMetrics wires every exported family. Collectors read live
+// service state under the service locks at scrape time; the family
+// set and order here is what docs/OPERATIONS.md documents.
+func (s *Service) registerMetrics() {
+	counter := func(name, help string, c metrics.Collector) { s.reg.Register(name, help, metrics.Counter, c) }
+	gauge := func(name, help string, c metrics.Collector) { s.reg.Register(name, help, metrics.Gauge, c) }
+
+	counter("ixpmon_datagrams_received_total", "sFlow datagrams read off the UDP socket.", func(emit metrics.Emit) {
+		emit(float64(s.received.Load()))
+	})
+	counter("ixpmon_parse_errors_total", "Datagrams that failed sFlow v5 parsing.", func(emit metrics.Emit) {
+		emit(float64(s.parseErrors.Load()))
+	})
+	counter("ixpmon_datagrams_consumed_total", "Datagrams fully drained into the window.", func(emit metrics.Emit) {
+		emit(float64(s.consumed.Load()))
+	})
+	counter("ixpmon_queue_drops_total", "Datagrams shed by per-source backpressure.", func(emit metrics.Emit) {
+		emit(float64(s.queueDrops.Load()))
+	})
+
+	// Per-source families share one snapshot-per-scrape walk.
+	perSource := func(f func(st *SourceStats) float64) metrics.Collector {
+		return func(emit metrics.Emit) {
+			for _, st := range s.SourcesSnapshot() {
+				st := st
+				emit(f(&st), "agent", st.Agent, "subagent", fmt.Sprint(st.SubAgent))
+			}
+		}
+	}
+	counter("ixpmon_source_datagrams_total", "Datagrams received per collector.", perSource(func(st *SourceStats) float64 { return float64(st.Datagrams) }))
+	counter("ixpmon_source_samples_total", "Flow samples received per collector.", perSource(func(st *SourceStats) float64 { return float64(st.Samples) }))
+	counter("ixpmon_source_sequence_lost_total", "Datagrams presumed lost in flight (sequence gaps, net of late arrivals).", perSource(func(st *SourceStats) float64 { return float64(st.Lost) }))
+	counter("ixpmon_source_out_of_order_total", "Datagrams arriving late, reordered, or duplicated.", perSource(func(st *SourceStats) float64 { return float64(st.OutOfOrder) }))
+	counter("ixpmon_source_queue_drops_total", "Datagrams shed because this collector exceeded its queue share.", perSource(func(st *SourceStats) float64 { return float64(st.QueueDrops) }))
+	gauge("ixpmon_source_sampling_rate", "Current sampling denominator N (1-in-N) per collector.", perSource(func(st *SourceStats) float64 { return float64(st.Rate) }))
+	counter("ixpmon_source_rate_changes_total", "Observed sampling-rate switches per collector.", perSource(func(st *SourceStats) float64 { return float64(st.RateChanges) }))
+	gauge("ixpmon_source_agent_drops", "Agent-reported cumulative sample drops (flow-sample drops field).", perSource(func(st *SourceStats) float64 { return float64(st.AgentDrops) }))
+
+	window := func(f func(ws *WindowStats) float64) metrics.Collector {
+		return func(emit metrics.Emit) {
+			ws := s.WindowSnapshot()
+			emit(f(&ws))
+		}
+	}
+	gauge("ixpmon_window_current_day", "Day currently accumulating (days since the unix epoch; -1 before data).", window(func(ws *WindowStats) float64 { return float64(ws.CurDay) }))
+	gauge("ixpmon_window_client_days", "Live client-day profiles in the window aggregate.", window(func(ws *WindowStats) float64 { return float64(ws.ClientDays) }))
+	gauge("ixpmon_window_arena_cap", "Aggregate arena capacity (recycled-slot bound).", window(func(ws *WindowStats) float64 { return float64(ws.ArenaCap) }))
+	gauge("ixpmon_window_names", "Interned DNS name universe size.", window(func(ws *WindowStats) float64 { return float64(ws.Names) }))
+	gauge("ixpmon_window_list_names", "Current misused-name list size.", window(func(ws *WindowStats) float64 { return float64(ws.ListNames) }))
+	counter("ixpmon_window_refreshes_total", "Name-list refreshes.", window(func(ws *WindowStats) float64 { return float64(ws.Refreshes) }))
+	counter("ixpmon_window_closed_days_total", "Day-close detection sweeps.", window(func(ws *WindowStats) float64 { return float64(ws.ClosedDays) }))
+	counter("ixpmon_window_evicted_total", "Client-day profiles evicted after falling out of the window.", window(func(ws *WindowStats) float64 { return float64(ws.Evicted) }))
+	counter("ixpmon_window_late_samples_total", "Samples dropped for arriving older than the window.", window(func(ws *WindowStats) float64 { return float64(ws.LateSamples) }))
+	counter("ixpmon_detections_total", "Detections emitted (retained plus shed to the cap).", window(func(ws *WindowStats) float64 {
+		return float64(uint64(ws.Detections) + ws.DetectionsDropped)
+	}))
+
+	counter("ixpmon_stage_seconds_total", "Wall-clock seconds spent per processing stage.", func(emit metrics.Emit) {
+		for _, st := range s.stages.Snapshot() {
+			emit(st.Total.Seconds(), "stage", st.Stage)
+		}
+	})
+	counter("ixpmon_stage_invocations_total", "Invocations per processing stage.", func(emit metrics.Emit) {
+		for _, st := range s.stages.Snapshot() {
+			emit(float64(st.Count), "stage", st.Stage)
+		}
+	})
+	gauge("ixpmon_stage_max_seconds", "Longest single invocation per processing stage.", func(emit metrics.Emit) {
+		for _, st := range s.stages.Snapshot() {
+			emit(st.Max.Seconds(), "stage", st.Stage)
+		}
+	})
+}

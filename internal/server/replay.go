@@ -1,0 +1,50 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dnsamp/internal/sflow"
+)
+
+// SendLog replays a recorded sFlow datagram log (sflow.LogWriter's
+// format) over a datagram writer — typically a connected UDP socket
+// pointed at a Service. Each log entry's datagram is re-encoded with
+// its Uptime field rewritten to the entry's recorded arrival time as a
+// unix second (the TimeFromUptime convention: UDP transport carries no
+// per-datagram timestamp, so the capture time rides in the one header
+// field the batch study never reads; a uint32 of unix seconds holds
+// until 2106).
+//
+// UDP has no flow control, so an unpaced replay of a large log
+// overruns the receiver's socket buffer. burst > 0 inserts a pause
+// after every burst datagrams; burst <= 0 sends flat out (fine for
+// small logs and paced tests that gate on Service.Consumed).
+//
+// Returns the number of datagrams written. A log that stops mid-entry
+// sends every complete entry and then reports the read error.
+func SendLog(dst io.Writer, src io.Reader, burst int, pause time.Duration) (int, error) {
+	lr, err := sflow.NewLogReader(src)
+	if err != nil {
+		return 0, err
+	}
+	sent := 0
+	for {
+		at, dg, err := lr.NextEntry()
+		if err != nil {
+			if err == io.EOF {
+				return sent, nil
+			}
+			return sent, err
+		}
+		dg.Uptime = uint32(at)
+		if _, err := dst.Write(sflow.EncodeDatagram(dg)); err != nil {
+			return sent, fmt.Errorf("server: sending datagram %d: %w", sent, err)
+		}
+		sent++
+		if burst > 0 && sent%burst == 0 {
+			time.Sleep(pause)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package server is the live multi-collector service mode: an
+// always-on daemon that ingests sFlow v5 datagrams over UDP from many
+// concurrent collectors, sanitizes their samples through the same
+// capture-point pipeline the batch study uses, folds them into a
+// sliding-window incremental aggregate (window-expired client-days
+// evicted in place, arena slots recycled), and serves results and
+// operational state over HTTP.
+//
+// Layering: internal/sflow parses datagrams, internal/ixp sanitizes
+// frames into DNS samples, internal/core aggregates and detects;
+// this package adds what a daemon needs on top — per-source
+// sequence/drop accounting (sources.go), the sliding window
+// (window.go), stage timings (stages.go), datagram replay over UDP
+// (replay.go), and the Service that wires a UDP reader, a consumer,
+// and an HTTP control surface together (this file, http.go).
+//
+// Concurrency model: one reader goroutine owns the UDP socket, parses
+// each datagram, accounts it to its (agent, sub-agent) source row, and
+// enqueues it on a single bounded queue shared by all sources; one
+// consumer goroutine drains the queue into the window. Backpressure is
+// per source: each source has a pending-datagram meter, and when a
+// source exceeds its queue share (or the shared queue is full) the
+// reader drops that source's datagram and counts it — a stalled or
+// flooding collector sheds only its own traffic and can never wedge
+// ingest for its neighbours. HTTP handlers take read snapshots under
+// the same locks, so scrapes never block the hot path for long.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsamp/internal/metrics"
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+)
+
+// Config configures a Service. Zero fields take the documented
+// defaults.
+type Config struct {
+	// UDPAddr is the sFlow listen address (default "127.0.0.1:0").
+	UDPAddr string
+	// HTTPAddr is the control-surface listen address (default
+	// "127.0.0.1:0").
+	HTTPAddr string
+
+	// Window configures the sliding-window detector.
+	Window WindowConfig
+
+	// TimeFromUptime, when set, takes each datagram's timestamp from its
+	// Uptime field interpreted as a unix second — the replay convention
+	// SendLog writes (recorded logs carry their original capture
+	// timestamps there). When unset, datagrams are stamped with the
+	// daemon's wall clock on arrival — the live deployment mode.
+	TimeFromUptime bool
+
+	// QueueLen is the shared ingest queue capacity in datagrams
+	// (default 1024). PerSourceQueue caps one source's share of it
+	// (default QueueLen/4): a source with that many datagrams already
+	// pending has new ones dropped and counted against it.
+	QueueLen       int
+	PerSourceQueue int
+	// ReadBuffer is the requested kernel receive buffer size in bytes
+	// (default 1 MiB; best-effort).
+	ReadBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.UDPAddr == "" {
+		c.UDPAddr = "127.0.0.1:0"
+	}
+	if c.HTTPAddr == "" {
+		c.HTTPAddr = "127.0.0.1:0"
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	if c.PerSourceQueue <= 0 {
+		c.PerSourceQueue = c.QueueLen / 4
+		if c.PerSourceQueue < 1 {
+			c.PerSourceQueue = 1
+		}
+	}
+	if c.ReadBuffer <= 0 {
+		c.ReadBuffer = 1 << 20
+	}
+	return c
+}
+
+// item is one parsed datagram in flight from reader to consumer.
+type item struct {
+	src *sourceState
+	dg  *sflow.Datagram
+	at  simclock.Time
+}
+
+// Service is the running daemon. Construct with NewService, start with
+// Start, stop with Shutdown.
+type Service struct {
+	cfg    Config
+	stages *Stages
+	reg    *metrics.Registry
+
+	// mu serializes window access (consumer vs HTTP snapshots).
+	mu  sync.Mutex
+	win *Window
+
+	// smu guards the source registry; row fields other than pending are
+	// written only by the reader under it.
+	smu     sync.Mutex
+	sources map[sourceKey]*sourceState
+
+	queue chan item
+
+	conn    *net.UDPConn
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	readerDone   chan struct{}
+	consumerDone chan struct{}
+	started      bool
+
+	// gate, when non-nil, stalls the consumer until it is closed —
+	// a test hook simulating a consumer that cannot keep up.
+	gate chan struct{}
+
+	received    atomic.Uint64 // datagrams read off the socket
+	parseErrors atomic.Uint64
+	consumed    atomic.Uint64 // datagrams drained into the window
+	queueDrops  atomic.Uint64 // total, across sources
+}
+
+// NewService builds an unstarted service.
+func NewService(cfg Config) *Service {
+	s := &Service{
+		cfg:          cfg.withDefaults(),
+		stages:       NewStages(),
+		reg:          metrics.NewRegistry(),
+		sources:      make(map[sourceKey]*sourceState),
+		readerDone:   make(chan struct{}),
+		consumerDone: make(chan struct{}),
+	}
+	s.win = NewWindow(s.cfg.Window, s.stages)
+	s.queue = make(chan item, s.cfg.QueueLen)
+	s.registerMetrics()
+	return s
+}
+
+// Start binds the UDP and HTTP listeners and launches the reader,
+// consumer, and HTTP serving goroutines.
+func (s *Service) Start() error {
+	if s.started {
+		return errors.New("server: already started")
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", s.cfg.UDPAddr)
+	if err != nil {
+		return fmt.Errorf("server: resolving UDP addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return fmt.Errorf("server: listening UDP: %w", err)
+	}
+	_ = conn.SetReadBuffer(s.cfg.ReadBuffer) // best-effort
+	ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("server: listening HTTP: %w", err)
+	}
+	s.conn = conn
+	s.httpLn = ln
+	s.httpSrv = &http.Server{Handler: s.handler()}
+	s.started = true
+	go s.readLoop()
+	go s.consumeLoop()
+	go s.httpSrv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return nil
+}
+
+// Addr returns the bound UDP listen address (after Start).
+func (s *Service) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// HTTPAddr returns the bound HTTP listen address (after Start).
+func (s *Service) HTTPAddr() net.Addr { return s.httpLn.Addr() }
+
+// Shutdown stops the service in dependency order: close the socket so
+// the reader exits and closes the queue, wait for the consumer to
+// drain everything already accepted, finalize the window (detecting
+// over the day in progress), then stop the HTTP server — so a final
+// scrape after the data path stops still sees the complete state.
+func (s *Service) Shutdown(ctx context.Context) error {
+	if !s.started {
+		return nil
+	}
+	s.conn.Close()
+	<-s.readerDone
+	<-s.consumerDone
+	s.mu.Lock()
+	s.win.Close()
+	s.mu.Unlock()
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// readLoop owns the socket: read, parse, account, enqueue-or-shed.
+func (s *Service) readLoop() {
+	defer close(s.readerDone)
+	defer close(s.queue)
+	buf := make([]byte, 1<<16)
+	for {
+		n, _, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			// Closed during Shutdown (or a fatal socket error — either
+			// way the data path winds down).
+			return
+		}
+		s.received.Add(1)
+		stop := s.stages.Track("parse")
+		dg, err := sflow.ParseDatagram(buf[:n])
+		stop()
+		if err != nil {
+			s.parseErrors.Add(1)
+			continue
+		}
+		var at simclock.Time
+		if s.cfg.TimeFromUptime {
+			at = simclock.Time(dg.Uptime)
+		} else {
+			at = simclock.Time(time.Now().Unix())
+		}
+		key := sourceKey{agent: dg.Agent, subAgent: dg.SubAgent}
+		s.smu.Lock()
+		src := s.sources[key]
+		if src == nil {
+			src = &sourceState{key: key}
+			src.stats.Agent = fmt.Sprintf("%d.%d.%d.%d", key.agent[0], key.agent[1], key.agent[2], key.agent[3])
+			src.stats.SubAgent = key.subAgent
+			s.sources[key] = src
+		}
+		src.account(dg, at)
+		shed := src.pending.Load() >= int64(s.cfg.PerSourceQueue)
+		if !shed {
+			select {
+			case s.queue <- item{src: src, dg: dg, at: at}:
+				src.pending.Add(1)
+			default:
+				shed = true // shared queue full
+			}
+		}
+		if shed {
+			src.stats.QueueDrops++
+			s.queueDrops.Add(1)
+		}
+		s.smu.Unlock()
+	}
+}
+
+// consumeLoop drains the queue into the window.
+func (s *Service) consumeLoop() {
+	defer close(s.consumerDone)
+	for it := range s.queue {
+		if s.gate != nil {
+			<-s.gate
+		}
+		it.src.pending.Add(-1)
+		stop := s.stages.Track("observe")
+		s.mu.Lock()
+		cp := s.win.Capture()
+		for i := range it.dg.Samples {
+			fs := &it.dg.Samples[i]
+			smp, ok := cp.Process(sflow.Record{
+				Time:     it.at,
+				Frame:    fs.Header,
+				FrameLen: int(fs.FrameLen),
+				Seq:      uint64(fs.Seq),
+			})
+			if !ok {
+				continue
+			}
+			if smp.PeerAS == 0 && fs.Input != 0 {
+				// The replay convention: ingress member ASN rides the
+				// Input interface field when no topology is wired up.
+				smp.PeerAS = fs.Input
+			}
+			s.win.Observe(&smp)
+		}
+		s.mu.Unlock()
+		stop()
+		s.consumed.Add(1)
+	}
+}
+
+// Received reports datagrams read off the socket so far.
+func (s *Service) Received() uint64 { return s.received.Load() }
+
+// Consumed reports datagrams fully drained into the window so far.
+// Tests pace senders against it: once Consumed matches what was sent,
+// every accepted sample is in the window.
+func (s *Service) Consumed() uint64 { return s.consumed.Load() }
+
+// QueueDrops reports datagrams shed by backpressure across all
+// sources.
+func (s *Service) QueueDrops() uint64 { return s.queueDrops.Load() }
+
+// WindowSnapshot returns the window's observable state.
+func (s *Service) WindowSnapshot() WindowStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.win.Stats()
+}
+
+// DetectionsSnapshot returns the retained detections.
+func (s *Service) DetectionsSnapshot() []*Detection {
+	s.mu.Lock()
+	dets := s.win.Detections()
+	s.mu.Unlock()
+	out := make([]*Detection, len(dets))
+	for i, d := range dets {
+		out[i] = newDetection(d)
+	}
+	return out
+}
+
+// SourcesSnapshot returns per-collector accounting rows sorted by
+// (agent, sub-agent).
+func (s *Service) SourcesSnapshot() []SourceStats {
+	s.smu.Lock()
+	out := make([]SourceStats, 0, len(s.sources))
+	for _, src := range s.sources {
+		out = append(out, src.stats)
+	}
+	s.smu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Agent != out[j].Agent {
+			return out[i].Agent < out[j].Agent
+		}
+		return out[i].SubAgent < out[j].SubAgent
+	})
+	return out
+}
+
+// StagesSnapshot returns accumulated per-stage timings.
+func (s *Service) StagesSnapshot() []StageTiming { return s.stages.Snapshot() }
+
+// Registry exposes the metric registry (the /metrics content).
+func (s *Service) Registry() *metrics.Registry { return s.reg }

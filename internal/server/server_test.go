@@ -1,0 +1,448 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"reflect"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsamp/internal/core"
+	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+	"dnsamp/internal/source"
+	"dnsamp/internal/topology"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// startService builds and starts a service; shutdown runs in cleanup.
+func startService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	svc := NewService(cfg)
+	if err := svc.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return svc
+}
+
+func dialService(t *testing.T, svc *Service) *net.UDPConn {
+	t.Helper()
+	conn, err := net.DialUDP("udp", nil, svc.Addr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatalf("dialing service: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// wireLog generates a deterministic multi-day campaign and encodes its
+// sampled IXP traffic as an arrival-ordered sFlow datagram log.
+func wireLog(t *testing.T, days int) *bytes.Buffer {
+	t.Helper()
+	cfg := ecosystem.DefaultCampaignConfig(0.01)
+	cfg.Zones.ProceduralNames = 20_000
+	cfg.Topology = topology.Config{Members: 24, ASesPerClass: 40, Seed: 1}
+	c := ecosystem.NewCampaign(cfg)
+	gen := ecosystem.NewGenerator(c, 7)
+
+	var recs []ecosystem.TaggedRecord
+	day := simclock.MeasurementStart
+	for d := 0; d < days; d++ {
+		recs = append(recs, gen.WireDay(day).IXP...)
+		day = day.Add(simclock.Day)
+	}
+	slices.SortStableFunc(recs, func(a, b ecosystem.TaggedRecord) int {
+		return int(a.Rec.Time.Sub(b.Rec.Time))
+	})
+
+	var buf bytes.Buffer
+	lw, err := sflow.NewLogWriter(&buf, [4]byte{192, 0, 2, 1}, sflow.DefaultRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range recs {
+		if err := lw.Add(tr.Rec, tr.Ingress); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func getBody(t *testing.T, svc *Service, path string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + svc.HTTPAddr().String() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return body
+}
+
+// TestServiceGoldenReplay is the acceptance test of the service mode:
+// a daemonized service fed a recorded datagram stream over UDP must
+// report detections equal to a batch study over the same recording —
+// while it is evicting expired client-days (window narrower than the
+// recording) and exposing per-source and per-stage state over HTTP.
+func TestServiceGoldenReplay(t *testing.T) {
+	const days, listN = 5, 29
+	logBuf := wireLog(t, days)
+	logBytes := logBuf.Bytes()
+
+	// Batch reference over the same recording: whole-day columnar
+	// ingestion (no UDP, no eviction), cumulative selector state,
+	// per-day close-out — the study pipeline's semantics.
+	rep := source.NewReplay(nil)
+	if _, err := rep.IngestSFlowLog(bytes.NewReader(logBytes)); err != nil {
+		t.Fatalf("IngestSFlowLog: %v", err)
+	}
+	tab := rep.Table()
+	ref := core.NewAggregator(tab, nil)
+	ref.SetTrackAll(true)
+	cp := ixp.NewCapturePoint(nil, tab)
+	th := core.DefaultThresholds()
+	var want []*core.Detection
+	for _, day := range rep.Days() {
+		ref.ObserveBatch(cp.RemapBatch(rep.Day(day)))
+		nl := core.BuildNameList(listN, core.Selector1MaxSize(ref), core.Selector2ANYCount(ref))
+		for _, det := range core.Detect(ref, nl.Names, th) {
+			if det.Day == day.Day() {
+				want = append(want, det)
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("batch reference found no detections; the golden comparison would be vacuous")
+	}
+
+	// The daemon: 2-day window over a 5-day recording, so eviction and
+	// slot recycling run during the replay. Timestamps ride the Uptime
+	// field (the replay convention).
+	svc := startService(t, Config{
+		TimeFromUptime: true,
+		Window:         WindowConfig{Days: 2, ListSize: listN, Refresh: simclock.Hour},
+	})
+	conn := dialService(t, svc)
+
+	lr, err := sflow.NewLogReader(bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, scraped := 0, false
+	for {
+		at, dgm, err := lr.NextEntry()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		dgm.Uptime = uint32(at)
+		if _, err := conn.Write(sflow.EncodeDatagram(dgm)); err != nil {
+			t.Fatalf("sending datagram %d: %v", sent, err)
+		}
+		sent++
+		// Flow control: UDP has none, so pace against the consumer to
+		// keep the in-flight window under the socket buffer.
+		if sent%64 == 0 {
+			n := uint64(sent - 64)
+			waitUntil(t, "consumer to catch up", func() bool { return svc.Consumed() >= n })
+		}
+		if !scraped && svc.Consumed() > uint64(sent/2) && sent > 128 {
+			scraped = true
+			assertControlSurface(t, svc, true)
+		}
+	}
+	waitUntil(t, "all datagrams consumed", func() bool { return svc.Consumed() == uint64(sent) })
+	if drops := svc.QueueDrops(); drops != 0 {
+		t.Fatalf("backpressure shed %d datagrams of a paced replay", drops)
+	}
+
+	// Mid-run scrape again with full per-source state, then finalize.
+	assertControlSurface(t, svc, scraped)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	svc.mu.Lock()
+	got := svc.win.Detections()
+	st := svc.win.Stats()
+	svc.mu.Unlock()
+	if st.Evicted == 0 {
+		t.Fatalf("a 2-day window over %d days must evict: %+v", days, st)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("detections: daemon %d, batch %d\ndaemon: %+v\nbatch: %+v", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("detection %d: daemon %+v, batch %+v", i, *got[i], *want[i])
+		}
+	}
+}
+
+// assertControlSurface checks every endpoint is live and well-formed
+// while the daemon runs; withSources additionally requires per-source
+// accounting rows to be present in /sources and /metrics.
+func assertControlSurface(t *testing.T, svc *Service, withSources bool) {
+	t.Helper()
+
+	metricsText := string(getBody(t, svc, "/metrics"))
+	for _, family := range []string{
+		"ixpmon_datagrams_received_total",
+		"ixpmon_stage_seconds_total",
+		"ixpmon_window_client_days",
+	} {
+		if !strings.Contains(metricsText, "# TYPE "+family+" ") {
+			t.Errorf("/metrics missing family %s:\n%.500s", family, metricsText)
+		}
+	}
+	if withSources && !strings.Contains(metricsText, `ixpmon_source_datagrams_total{agent="192.0.2.1",subagent="0"}`) {
+		t.Errorf("/metrics missing per-source sample:\n%.500s", metricsText)
+	}
+
+	var stages []stageJSON
+	if err := json.Unmarshal(getBody(t, svc, "/stages"), &stages); err != nil {
+		t.Fatalf("/stages: %v", err)
+	}
+	if withSources {
+		names := make(map[string]bool)
+		for _, st := range stages {
+			names[st.Stage] = true
+		}
+		if !names["parse"] || !names["observe"] {
+			t.Errorf("/stages missing core stages: %+v", stages)
+		}
+	}
+
+	var sources []SourceStats
+	if err := json.Unmarshal(getBody(t, svc, "/sources"), &sources); err != nil {
+		t.Fatalf("/sources: %v", err)
+	}
+	if withSources {
+		if len(sources) != 1 || sources[0].Agent != "192.0.2.1" || sources[0].Datagrams == 0 {
+			t.Errorf("/sources = %+v", sources)
+		}
+		if sources[0].Rate != sflow.DefaultRate {
+			t.Errorf("source rate = %d, want %d", sources[0].Rate, sflow.DefaultRate)
+		}
+	}
+
+	var dets []Detection
+	if err := json.Unmarshal(getBody(t, svc, "/detections"), &dets); err != nil {
+		t.Fatalf("/detections: %v", err)
+	}
+	var ws WindowStats
+	if err := json.Unmarshal(getBody(t, svc, "/window"), &ws); err != nil {
+		t.Fatalf("/window: %v", err)
+	}
+	if body := getBody(t, svc, "/healthz"); string(body) != "ok\n" {
+		t.Errorf("/healthz = %q", body)
+	}
+}
+
+// TestServiceMultiSource: concurrent collectors with different
+// sampling rates, loss, and reordering are accounted independently.
+func TestServiceMultiSource(t *testing.T) {
+	svc := startService(t, Config{})
+	conn := dialService(t, svc)
+
+	mk := func(agent byte, sub, seq, rate uint32) []byte {
+		return sflow.EncodeDatagram(&sflow.Datagram{
+			Agent:    [4]byte{10, 0, 0, agent},
+			SubAgent: sub,
+			Seq:      seq,
+			Samples: []sflow.FlowSample{{
+				Seq: seq, Rate: rate, FrameLen: 64, Header: []byte{1, 2, 3, 4},
+			}},
+		})
+	}
+	// Source A: a gap (3 lost), then one lost datagram arriving late.
+	// Source B (different sub-agent space): clean sequence, rate switch.
+	for _, d := range [][]byte{
+		mk(1, 0, 1, 16384),
+		mk(1, 0, 2, 16384),
+		mk(2, 7, 100, 8192),
+		mk(1, 0, 6, 16384),
+		mk(2, 7, 101, 4096),
+		mk(1, 0, 4, 16384),
+	} {
+		if _, err := conn.Write(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "6 datagrams received", func() bool { return svc.Received() == 6 })
+
+	rows := svc.SourcesSnapshot()
+	if len(rows) != 2 {
+		t.Fatalf("sources = %+v", rows)
+	}
+	a, b := rows[0], rows[1]
+	if a.Agent != "10.0.0.1" || a.SubAgent != 0 || b.Agent != "10.0.0.2" || b.SubAgent != 7 {
+		t.Fatalf("row identity/order: %+v", rows)
+	}
+	if a.Datagrams != 4 || a.Lost != 2 || a.OutOfOrder != 1 || a.Rate != 16384 {
+		t.Errorf("source A = %+v", a)
+	}
+	if b.Datagrams != 2 || b.Lost != 0 || b.Rate != 4096 || b.RateChanges != 1 {
+		t.Errorf("source B = %+v", b)
+	}
+
+	// Garbage is a parse error, not a source row.
+	if _, err := conn.Write([]byte("not sflow")); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "garbage received", func() bool { return svc.Received() == 7 })
+	waitUntil(t, "parse error counted", func() bool { return svc.parseErrors.Load() == 1 })
+	if got := len(svc.SourcesSnapshot()); got != 2 {
+		t.Errorf("garbage created a source row: %d", got)
+	}
+}
+
+// TestServiceBackpressure: with the consumer stalled, a flooding
+// source exceeds its queue share and sheds its own datagrams — while a
+// quiet neighbour's datagram is still accepted.
+func TestServiceBackpressure(t *testing.T) {
+	svc := NewService(Config{QueueLen: 4, PerSourceQueue: 2})
+	svc.gate = make(chan struct{})
+	if err := svc.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	gateOpen := false
+	openGate := func() {
+		if !gateOpen {
+			gateOpen = true
+			close(svc.gate)
+		}
+	}
+	t.Cleanup(func() {
+		openGate()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	conn := dialService(t, svc)
+
+	mk := func(agent byte, seq uint32) []byte {
+		return sflow.EncodeDatagram(&sflow.Datagram{
+			Agent: [4]byte{10, 0, 0, agent}, Seq: seq,
+			Samples: []sflow.FlowSample{{Seq: seq, Rate: 16384, FrameLen: 64, Header: []byte{1}}},
+		})
+	}
+	for seq := uint32(1); seq <= 10; seq++ { // source A floods
+		if _, err := conn.Write(mk(1, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := conn.Write(mk(2, 1)); err != nil { // source B: one datagram
+		t.Fatal(err)
+	}
+	waitUntil(t, "11 datagrams received", func() bool { return svc.Received() == 11 })
+
+	rows := svc.SourcesSnapshot()
+	if len(rows) != 2 {
+		t.Fatalf("sources = %+v", rows)
+	}
+	a, b := rows[0], rows[1]
+	if a.QueueDrops != 8 {
+		t.Errorf("flooding source drops = %d, want 8 (2 of 10 fit its share)", a.QueueDrops)
+	}
+	if b.QueueDrops != 0 {
+		t.Errorf("quiet source shed %d datagrams; backpressure must be per-source", b.QueueDrops)
+	}
+	if svc.QueueDrops() != 8 {
+		t.Errorf("total drops = %d", svc.QueueDrops())
+	}
+
+	openGate()
+	waitUntil(t, "accepted datagrams consumed", func() bool { return svc.Consumed() == 3 })
+}
+
+// TestSendLogRewritesUptime: the replay sender stamps each datagram's
+// recorded arrival second into the Uptime field, in log order.
+func TestSendLogRewritesUptime(t *testing.T) {
+	var buf bytes.Buffer
+	lw, err := sflow.NewLogWriter(&buf, [4]byte{192, 0, 2, 1}, sflow.DefaultRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := []byte{0xaa, 0xbb, 0xcc}
+	times := []simclock.Time{
+		simclock.MeasurementStart,
+		simclock.MeasurementStart.Add(2),
+		simclock.MeasurementStart.Add(simclock.Hour),
+	}
+	for i, at := range times {
+		if err := lw.Add(sflow.Record{Time: at, Frame: frame, FrameLen: 64, Seq: uint64(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wrote [][]byte
+	sink := writerFunc(func(p []byte) (int, error) {
+		wrote = append(wrote, append([]byte(nil), p...))
+		return len(p), nil
+	})
+	sent, err := SendLog(sink, bytes.NewReader(buf.Bytes()), 2, time.Microsecond)
+	if err != nil {
+		t.Fatalf("SendLog: %v", err)
+	}
+	if sent != len(wrote) || sent != len(times) {
+		t.Fatalf("sent %d datagrams, wrote %d, want %d", sent, len(wrote), len(times))
+	}
+	for i, p := range wrote {
+		dgm, err := sflow.ParseDatagram(p)
+		if err != nil {
+			t.Fatalf("datagram %d: %v", i, err)
+		}
+		if simclock.Time(dgm.Uptime) != times[i] {
+			t.Errorf("datagram %d uptime = %d, want %d", i, dgm.Uptime, times[i])
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

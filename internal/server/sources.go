@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+)
+
+// sourceKey identifies one sampling process: an sFlow agent address
+// plus its sub-agent ID. Real IXP deployments run one agent per
+// collector box, often several sub-agents per chassis; each gets its
+// own sequence space and its own accounting row.
+type sourceKey struct {
+	agent    [4]byte
+	subAgent uint32
+}
+
+func (k sourceKey) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d", k.agent[0], k.agent[1], k.agent[2], k.agent[3], k.subAgent)
+}
+
+// SourceStats is the externally visible per-collector accounting row:
+// what /sources serializes and the per-source metrics export.
+type SourceStats struct {
+	// Agent is the dotted agent address; SubAgent the sub-agent ID.
+	Agent    string `json:"agent"`
+	SubAgent uint32 `json:"subAgent"`
+
+	// Datagrams and Samples count what arrived (before any queueing).
+	Datagrams uint64 `json:"datagrams"`
+	Samples   uint64 `json:"samples"`
+
+	// FirstSeq/LastSeq bound the observed datagram sequence numbers.
+	FirstSeq uint32 `json:"firstSeq"`
+	LastSeq  uint32 `json:"lastSeq"`
+	// Lost counts datagrams presumed dropped in flight: the sum of
+	// forward sequence gaps, decremented when a late datagram arrives
+	// after all. UDP gives no stronger signal than the sequence stream.
+	Lost uint64 `json:"lost"`
+	// OutOfOrder counts datagrams arriving with a sequence number at or
+	// below the last one seen — late reordered delivery and duplicates
+	// (indistinguishable without per-sequence history).
+	OutOfOrder uint64 `json:"outOfOrder"`
+
+	// AgentDrops is the agent's own cumulative drop counter (the flow
+	// sample `drops` field): samples the agent discarded before they
+	// ever reached the wire.
+	AgentDrops uint32 `json:"agentDrops"`
+	// Rate is the sampling denominator of the most recent flow sample
+	// (1-in-Rate); RateChanges counts observed rate switches.
+	Rate        uint32 `json:"rate"`
+	RateChanges uint64 `json:"rateChanges"`
+
+	// QueueDrops counts datagrams this service dropped because the
+	// source exceeded its ingest-queue share (backpressure: a stalled or
+	// flooding collector sheds its own datagrams, never its neighbours').
+	QueueDrops uint64 `json:"queueDrops"`
+
+	// LastArrival is the arrival timestamp of the newest datagram.
+	LastArrival simclock.Time `json:"lastArrival"`
+}
+
+// sourceState is the internal accounting row. Fields other than
+// pending are written only by the reader goroutine under Service.smu;
+// pending is shared with the consumer goroutine and atomic.
+type sourceState struct {
+	key     sourceKey
+	stats   SourceStats
+	started bool // FirstSeq recorded
+	// pending is the number of this source's datagrams sitting in the
+	// ingest queue — the per-source backpressure meter.
+	pending atomic.Int64
+}
+
+// account folds one arrived datagram into the row. Called by the
+// reader with the source registry locked.
+func (s *sourceState) account(dg *sflow.Datagram, at simclock.Time) {
+	st := &s.stats
+	st.Datagrams++
+	st.Samples += uint64(len(dg.Samples))
+	st.LastArrival = at
+	if !s.started {
+		s.started = true
+		st.FirstSeq, st.LastSeq = dg.Seq, dg.Seq
+	} else {
+		expected := st.LastSeq + 1
+		switch {
+		case dg.Seq == expected:
+			st.LastSeq = dg.Seq
+		case dg.Seq > expected:
+			st.Lost += uint64(dg.Seq - expected)
+			st.LastSeq = dg.Seq
+		default: // late, reordered, or duplicated
+			st.OutOfOrder++
+			if st.Lost > 0 {
+				st.Lost-- // a datagram counted lost arrived after all
+			}
+		}
+	}
+	for i := range dg.Samples {
+		fs := &dg.Samples[i]
+		if fs.Rate != 0 && fs.Rate != st.Rate {
+			if st.Rate != 0 {
+				st.RateChanges++
+			}
+			st.Rate = fs.Rate
+		}
+		if fs.Drops > st.AgentDrops {
+			st.AgentDrops = fs.Drops
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"testing"
+
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+)
+
+// dg builds a one-sample datagram with the given sequence number.
+func dg(seq uint32, rate uint32, drops uint32) *sflow.Datagram {
+	return &sflow.Datagram{
+		Agent:    [4]byte{10, 0, 0, 1},
+		SubAgent: 0,
+		Seq:      seq,
+		Samples: []sflow.FlowSample{{
+			Seq: seq, Rate: rate, Drops: drops,
+			FrameLen: 64, Header: []byte{0xde, 0xad},
+		}},
+	}
+}
+
+func TestAccountSequenceRules(t *testing.T) {
+	src := &sourceState{}
+	at := simclock.MeasurementStart
+
+	// In-order start.
+	src.account(dg(10, 16384, 0), at)
+	src.account(dg(11, 16384, 0), at+1)
+	st := src.stats
+	if st.FirstSeq != 10 || st.LastSeq != 11 || st.Lost != 0 || st.OutOfOrder != 0 {
+		t.Fatalf("in-order: %+v", st)
+	}
+
+	// Forward gap: 12 and 13 presumed lost.
+	src.account(dg(14, 16384, 0), at+2)
+	if st = src.stats; st.Lost != 2 || st.LastSeq != 14 {
+		t.Fatalf("gap: %+v", st)
+	}
+
+	// One of them shows up late: reordering, not loss.
+	src.account(dg(12, 16384, 0), at+3)
+	if st = src.stats; st.Lost != 1 || st.OutOfOrder != 1 {
+		t.Fatalf("late arrival: %+v", st)
+	}
+
+	// A duplicate of an already-seen datagram: out-of-order again, and
+	// the loss estimate keeps decrementing while it is positive.
+	src.account(dg(12, 16384, 0), at+4)
+	src.account(dg(12, 16384, 0), at+5)
+	if st = src.stats; st.Lost != 0 || st.OutOfOrder != 3 {
+		t.Fatalf("duplicates: %+v", st)
+	}
+
+	// Resume in order from the highest seen.
+	src.account(dg(15, 16384, 0), at+6)
+	if st = src.stats; st.Lost != 0 || st.OutOfOrder != 3 || st.LastSeq != 15 {
+		t.Fatalf("resume: %+v", st)
+	}
+	if st.Datagrams != 7 || st.Samples != 7 {
+		t.Fatalf("counts: %+v", st)
+	}
+	if st.LastArrival != at+6 {
+		t.Fatalf("last arrival = %v, want %v", st.LastArrival, at+6)
+	}
+}
+
+func TestAccountRateAndAgentDrops(t *testing.T) {
+	src := &sourceState{}
+	at := simclock.MeasurementStart
+	src.account(dg(1, 16384, 0), at)
+	src.account(dg(2, 16384, 3), at)
+	src.account(dg(3, 8192, 5), at) // rate switch
+	src.account(dg(4, 8192, 4), at) // drops counter is cumulative: max wins
+
+	st := src.stats
+	if st.Rate != 8192 || st.RateChanges != 1 {
+		t.Fatalf("rate: %+v", st)
+	}
+	if st.AgentDrops != 5 {
+		t.Fatalf("agent drops = %d, want 5", st.AgentDrops)
+	}
+}
+
+func TestSourceKeyString(t *testing.T) {
+	k := sourceKey{agent: [4]byte{192, 0, 2, 7}, subAgent: 3}
+	if got := k.String(); got != "192.0.2.7/3" {
+		t.Fatalf("key string = %q", got)
+	}
+}

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"dnsamp/internal/core"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/simclock"
+	"dnsamp/internal/stats"
+)
+
+// WindowConfig sizes the sliding-window detector.
+type WindowConfig struct {
+	// Days is the window width in days: a closed day is evicted from the
+	// aggregate once it falls more than Days-1 days behind the current
+	// day. Minimum (and default) 1 — current-day-only, the live
+	// monitor's historical behaviour.
+	Days int
+	// ListSize is the per-selector name-list size N (the paper keeps 29).
+	ListSize int
+	// Refresh is the name-list refresh cadence in stream time (the paper
+	// allows at most 5 minutes of delay).
+	Refresh simclock.Duration
+	// Thresholds are the §4.2 detection thresholds.
+	Thresholds core.Thresholds
+	// MaxDetections bounds the retained detection log (0 = default
+	// 65536). When full, the oldest detections are dropped and counted.
+	MaxDetections int
+}
+
+// withDefaults normalizes zero fields.
+func (c WindowConfig) withDefaults() WindowConfig {
+	if c.Days < 1 {
+		c.Days = 1
+	}
+	if c.ListSize <= 0 {
+		c.ListSize = 29
+	}
+	if c.Refresh <= 0 {
+		c.Refresh = 5 * simclock.Minute
+	}
+	if c.Thresholds == (core.Thresholds{}) {
+		c.Thresholds = core.DefaultThresholds()
+	}
+	if c.MaxDetections <= 0 {
+		c.MaxDetections = 1 << 16
+	}
+	return c
+}
+
+// Window is the sliding-window incremental detector: the always-on
+// generalization of core.Monitor. It ingests sanitized samples in
+// arrival order, keeps the last WindowConfig.Days days of client-day
+// profiles in one core.Aggregator (expired days evicted in place, arena
+// slots recycled), refreshes the misused-name list every Refresh of
+// stream time, and emits detections for each day as it closes — so
+// results stream out with bounded memory instead of arriving at the end
+// of a study.
+//
+// Day close happens when a sample of a newer day arrives (UDP transport
+// may reorder within a day; whole-day reordering closes days in arrival
+// order) or at Close. Detection for the closing day runs against a
+// freshly refreshed name list over the window aggregate, exactly the
+// batch semantics: per-name selector state is cumulative since start,
+// per-client threshold state is the closing day's own profiles, so a
+// batch pass over the same stream yields the same detections (the
+// golden equivalence the server tests pin).
+//
+// Window is not safe for concurrent use; Service serializes access.
+type Window struct {
+	cfg WindowConfig
+
+	agg *core.Aggregator
+	cp  *ixp.CapturePoint
+
+	curDay      int // day being accumulated; -1 before first sample
+	lastSeen    simclock.Time
+	lastRefresh simclock.Time
+
+	names    map[string]bool
+	refreshN int
+	jaccard  float64 // vs previous refresh
+
+	detections []*core.Detection
+	detDropped uint64 // detections dropped to MaxDetections
+
+	closedDays  int
+	evicted     uint64
+	lateSamples uint64 // samples older than the window, dropped
+
+	stages *Stages
+}
+
+// NewWindow builds a sliding-window detector. The capture point that
+// sanitizes samples for it must share its interning table (Capture
+// returns one wired up); stages, when non-nil, receives refresh /
+// detect / evict timings.
+func NewWindow(cfg WindowConfig, stages *Stages) *Window {
+	w := &Window{
+		cfg:    cfg.withDefaults(),
+		curDay: -1,
+		names:  make(map[string]bool),
+		stages: stages,
+	}
+	w.agg = core.NewAggregator(nil, nil)
+	// Track every name per client: the window retains only cfg.Days days
+	// of client state, so trackAll stays affordable (the live monitor's
+	// trade, extended from one day to the window).
+	w.agg.SetTrackAll(true)
+	w.cp = ixp.NewCapturePoint(nil, w.agg.Table)
+	return w
+}
+
+// Capture returns the capture point feeding the window: it shares the
+// window's interning table, so samples it emits carry window name IDs.
+func (w *Window) Capture() *ixp.CapturePoint { return w.cp }
+
+// Observe ingests one sanitized sample in arrival order. The sample's
+// Name ID must be in the window's table space (come from Capture).
+func (w *Window) Observe(s *ixp.DNSSample) {
+	d := s.Time.Day()
+	if w.curDay == -1 {
+		w.curDay = d
+		w.lastRefresh = s.Time
+	}
+	if d > w.curDay {
+		w.advanceTo(d, s.Time)
+	}
+	if d <= w.curDay-w.cfg.Days {
+		// Older than the window: its day is already evicted (or would be
+		// immediately); late stragglers are dropped, not resurrected.
+		w.lateSamples++
+		return
+	}
+	w.agg.Observe(s)
+	if s.Time.After(w.lastSeen) {
+		w.lastSeen = s.Time
+	}
+	if s.Time.Sub(w.lastRefresh) >= w.cfg.Refresh {
+		w.refresh(s.Time)
+	}
+}
+
+// advanceTo closes every day before newDay and slides the window.
+func (w *Window) advanceTo(newDay int, now simclock.Time) {
+	for w.curDay < newDay {
+		w.closeDay(now)
+		w.curDay++
+	}
+	w.evict()
+}
+
+// closeDay refreshes the name list and detects over the closing day.
+func (w *Window) closeDay(now simclock.Time) {
+	w.refresh(now)
+	var stop func()
+	if w.stages != nil {
+		stop = w.stages.Track("detect")
+	}
+	dets := core.Detect(w.agg, w.names, w.cfg.Thresholds)
+	for _, det := range dets {
+		if det.Day == w.curDay {
+			w.detections = append(w.detections, det)
+		}
+	}
+	if over := len(w.detections) - w.cfg.MaxDetections; over > 0 {
+		w.detDropped += uint64(over)
+		w.detections = append(w.detections[:0], w.detections[over:]...)
+	}
+	w.closedDays++
+	if stop != nil {
+		stop()
+	}
+}
+
+// evict drops every day that has fallen out of the window.
+func (w *Window) evict() {
+	var stop func()
+	if w.stages != nil {
+		stop = w.stages.Track("evict")
+	}
+	w.evicted += uint64(w.agg.EvictDaysBefore(w.curDay - w.cfg.Days + 1))
+	if stop != nil {
+		stop()
+	}
+}
+
+// refresh recomputes the misused-name list from the window aggregate.
+func (w *Window) refresh(now simclock.Time) {
+	var stop func()
+	if w.stages != nil {
+		stop = w.stages.Track("refresh")
+	}
+	s1 := core.Selector1MaxSize(w.agg)
+	s2 := core.Selector2ANYCount(w.agg)
+	nl := core.BuildNameList(w.cfg.ListSize, s1, s2)
+	w.jaccard = stats.Jaccard(w.names, nl.Names)
+	w.names = nl.Names
+	w.refreshN++
+	w.lastRefresh = now
+	if stop != nil {
+		stop()
+	}
+}
+
+// Close finalizes the day currently accumulating (detecting over it)
+// without evicting it. Call once when the stream ends; observing newer
+// samples afterwards reopens the stream consistently.
+func (w *Window) Close() {
+	if w.curDay == -1 {
+		return
+	}
+	w.closeDay(w.lastSeen)
+	w.curDay++
+	w.evict()
+}
+
+// Detections returns a snapshot of the retained closed-day detections
+// in emission order.
+func (w *Window) Detections() []*core.Detection {
+	return append([]*core.Detection(nil), w.detections...)
+}
+
+// CurrentNames returns a snapshot of the current misused-name list.
+func (w *Window) CurrentNames() []string {
+	out := make([]string, 0, len(w.names))
+	for n := range w.names {
+		out = append(out, n)
+	}
+	return out
+}
+
+// WindowStats is the observable window state (for /metrics and tests).
+type WindowStats struct {
+	// CurDay is the day currently accumulating (-1 before any sample);
+	// ClosedDays counts day-close detection sweeps.
+	CurDay     int `json:"curDay"`
+	ClosedDays int `json:"closedDays"`
+	// ClientDays / ArenaCap describe the aggregate arena: live profiles
+	// and the recycled-slot capacity bound.
+	ClientDays int `json:"clientDays"`
+	ArenaCap   int `json:"arenaCap"`
+	// Names is the interned-name universe size; ListNames the current
+	// misused-name list length; Refreshes the refresh count; Jaccard the
+	// similarity of the last two lists.
+	Names     int     `json:"names"`
+	ListNames int     `json:"listNames"`
+	Refreshes int     `json:"refreshes"`
+	Jaccard   float64 `json:"jaccard"`
+	// Evicted counts evicted client-day profiles; LateSamples the
+	// samples dropped for arriving older than the window; Detections the
+	// retained detections; DetectionsDropped those shed to the cap.
+	Evicted           uint64 `json:"evicted"`
+	LateSamples       uint64 `json:"lateSamples"`
+	Detections        int    `json:"detections"`
+	DetectionsDropped uint64 `json:"detectionsDropped"`
+}
+
+// Stats snapshots the window state.
+func (w *Window) Stats() WindowStats {
+	return WindowStats{
+		CurDay:            w.curDay,
+		ClosedDays:        w.closedDays,
+		ClientDays:        w.agg.NumClients(),
+		ArenaCap:          w.agg.ArenaCap(),
+		Names:             w.agg.Table.Len(),
+		ListNames:         len(w.names),
+		Refreshes:         w.refreshN,
+		Jaccard:           w.jaccard,
+		Evicted:           w.evicted,
+		LateSamples:       w.lateSamples,
+		Detections:        len(w.detections),
+		DetectionsDropped: w.detDropped,
+	}
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"testing"
+
+	"dnsamp/internal/core"
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/simclock"
+)
+
+// winSample builds a sanitized response sample at an explicit stream
+// time, interned into the window's table space.
+func winSample(w *Window, at simclock.Time, client byte, name string, qt dnswire.Type, size int) *ixp.DNSSample {
+	tab := w.Capture().Table
+	id := tab.Intern(dnswire.CanonicalName(name))
+	return &ixp.DNSSample{
+		Time:       at,
+		Src:        [4]byte{203, 0, 113, 1},
+		Dst:        [4]byte{11, 0, 0, client},
+		IsResponse: true,
+		Name:       id,
+		QName:      tab.Name(id),
+		QType:      qt,
+		MsgSize:    size,
+	}
+}
+
+func dayTime(day int) simclock.Time {
+	return simclock.MeasurementStart.Add(simclock.Days(day)).Add(simclock.Hour)
+}
+
+// feedDay pushes one day of traffic: 20 amplification responses to the
+// victim client (when victim != 0) and 5 benign responses to client 9.
+func feedDay(w *Window, day int, victim byte) {
+	at := dayTime(day)
+	if victim != 0 {
+		for i := 0; i < 20; i++ {
+			w.Observe(winSample(w, at, victim, "amp.test", dnswire.TypeANY, 4000))
+		}
+	}
+	for i := 0; i < 5; i++ {
+		w.Observe(winSample(w, at, 9, "ok.test", dnswire.TypeA, 100))
+	}
+}
+
+func TestWindowSlidesAndDetects(t *testing.T) {
+	w := NewWindow(WindowConfig{Days: 2, ListSize: 1}, NewStages())
+
+	feedDay(w, 0, 1) // victim 11.0.0.1
+	if got := w.Stats(); got.ClosedDays != 0 || got.CurDay != simclock.MeasurementStart.Day() {
+		t.Fatalf("before first close: %+v", got)
+	}
+
+	feedDay(w, 1, 2) // first day-1 sample closes day 0
+	st := w.Stats()
+	if st.ClosedDays != 1 || st.Detections != 1 {
+		t.Fatalf("after day 0 close: %+v", st)
+	}
+	if st.Evicted != 0 {
+		t.Fatalf("nothing should leave a 2-day window yet: %+v", st)
+	}
+
+	feedDay(w, 2, 0) // closes day 1, evicts day 0 (clients 1 and 9)
+	st = w.Stats()
+	if st.ClosedDays != 2 || st.Detections != 2 {
+		t.Fatalf("after day 1 close: %+v", st)
+	}
+	if st.Evicted != 2 {
+		t.Fatalf("evicted = %d, want 2 (day-0 clients)", st.Evicted)
+	}
+
+	// A straggler from an evicted day is dropped, not resurrected.
+	before := w.Stats().ClientDays
+	w.Observe(winSample(w, dayTime(0), 1, "amp.test", dnswire.TypeANY, 4000))
+	st = w.Stats()
+	if st.LateSamples != 1 {
+		t.Fatalf("late samples = %d, want 1", st.LateSamples)
+	}
+	if st.ClientDays != before {
+		t.Fatalf("late sample changed the aggregate: %d -> %d", before, st.ClientDays)
+	}
+
+	w.Close() // finalizes day 2 (benign only: no new detection)
+	st = w.Stats()
+	if st.ClosedDays != 3 || st.Detections != 2 {
+		t.Fatalf("after Close: %+v", st)
+	}
+
+	dets := w.Detections()
+	d0, d1 := simclock.MeasurementStart.Day(), simclock.MeasurementStart.Day()+1
+	if dets[0].Day != d0 || dets[0].Victim != [4]byte{11, 0, 0, 1} {
+		t.Errorf("detection 0 = %+v", dets[0])
+	}
+	if dets[1].Day != d1 || dets[1].Victim != [4]byte{11, 0, 0, 2} {
+		t.Errorf("detection 1 = %+v", dets[1])
+	}
+	for _, d := range dets {
+		if d.Share != 1.0 || d.Packets != 20 {
+			t.Errorf("detection profile = %+v", d)
+		}
+	}
+	if names := w.CurrentNames(); len(names) != 1 || names[0] != "amp.test." {
+		t.Errorf("name list = %v", names)
+	}
+}
+
+// TestWindowMatchesBatch is the in-process golden: the evicting
+// streaming window must report exactly the detections of a cumulative
+// batch pass with the same day-close semantics over the same samples.
+func TestWindowMatchesBatch(t *testing.T) {
+	const days, listN = 6, 2
+	w := NewWindow(WindowConfig{Days: 2, ListSize: listN}, nil)
+
+	// Batch reference: cumulative aggregator, per-day close-out. It
+	// shares the window's interning table, so winSample IDs are valid
+	// in both.
+	ref := core.NewAggregator(w.Capture().Table, nil)
+	ref.SetTrackAll(true)
+	th := core.DefaultThresholds()
+	var want []*core.Detection
+
+	victims := []byte{1, 2, 0, 3, 0, 4}
+	for day := 0; day < days; day++ {
+		feedDay(w, day, victims[day])
+
+		at := dayTime(day)
+		if victims[day] != 0 {
+			for i := 0; i < 20; i++ {
+				ref.Observe(winSample(w, at, victims[day], "amp.test", dnswire.TypeANY, 4000))
+			}
+		}
+		for i := 0; i < 5; i++ {
+			ref.Observe(winSample(w, at, 9, "ok.test", dnswire.TypeA, 100))
+		}
+		nl := core.BuildNameList(listN, core.Selector1MaxSize(ref), core.Selector2ANYCount(ref))
+		for _, det := range core.Detect(ref, nl.Names, th) {
+			if det.Day == at.Day() {
+				want = append(want, det)
+			}
+		}
+	}
+	w.Close()
+
+	got := w.Detections()
+	if len(got) != len(want) {
+		t.Fatalf("detections: got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if *got[i] != *want[i] {
+			t.Errorf("detection %d: got %+v, want %+v", i, *got[i], *want[i])
+		}
+	}
+	if st := w.Stats(); st.Evicted == 0 {
+		t.Fatalf("6 days through a 2-day window must evict: %+v", st)
+	}
+}
+
+func TestWindowIntervalRefresh(t *testing.T) {
+	w := NewWindow(WindowConfig{}, nil) // default 5-minute cadence
+	at := dayTime(0)
+	w.Observe(winSample(w, at, 1, "a.test", dnswire.TypeA, 100))
+	if got := w.Stats().Refreshes; got != 0 {
+		t.Fatalf("refreshes after first sample = %d, want 0", got)
+	}
+	w.Observe(winSample(w, at.Add(6*simclock.Minute), 1, "a.test", dnswire.TypeA, 100))
+	if got := w.Stats().Refreshes; got != 1 {
+		t.Fatalf("refreshes after 6 minutes = %d, want 1", got)
+	}
+}

@@ -176,6 +176,63 @@ func TestLogRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLogReaderNextEntry checks the whole-datagram view of the log:
+// entries come back one network datagram at a time with their arrival
+// timestamps, and the samples of all entries concatenated equal what
+// the per-record Next iteration yields.
+func TestLogReaderNextEntry(t *testing.T) {
+	var buf bytes.Buffer
+	recs, inputs := writeLog(t, &buf)
+
+	lr, err := NewLogReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewLogReader: %v", err)
+	}
+	i := 0
+	entries := 0
+	lastT := simclock.Time(-1)
+	for {
+		at, dg, err := lr.NextEntry()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("entry %d: %v", entries, err)
+		}
+		entries++
+		if at.Before(lastT) {
+			t.Fatalf("entry %d: arrival time went backwards (%v after %v)", entries, at, lastT)
+		}
+		lastT = at
+		if len(dg.Samples) == 0 || len(dg.Samples) > 64 {
+			t.Fatalf("entry %d: %d samples, want 1..64", entries, len(dg.Samples))
+		}
+		for s := range dg.Samples {
+			fs := &dg.Samples[s]
+			if i >= len(recs) {
+				t.Fatalf("more samples than records written (at %d)", i)
+			}
+			if at != recs[i].Time {
+				t.Fatalf("sample %d: arrival %v, want %v", i, at, recs[i].Time)
+			}
+			if !bytes.Equal(fs.Header, recs[i].Frame) || fs.Input != inputs[i] || uint64(fs.Seq) != recs[i].Seq {
+				t.Fatalf("sample %d diverges from the Next view", i)
+			}
+			i++
+		}
+	}
+	if i != len(recs) {
+		t.Fatalf("NextEntry yielded %d samples, want %d", i, len(recs))
+	}
+	if entries < 2 {
+		t.Fatalf("fixture produced %d entries; want several", entries)
+	}
+	// The entry just consumed is not re-served sample-wise.
+	if _, _, err := lr.Next(); err != io.EOF {
+		t.Fatalf("Next after NextEntry drain: err = %v, want io.EOF", err)
+	}
+}
+
 // TestLogReaderResumes drives the tail path: a reader that hits a
 // mid-entry end of input must report io.ErrUnexpectedEOF and pick up
 // exactly where it stopped once more bytes arrive.

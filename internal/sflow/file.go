@@ -209,6 +209,22 @@ func (lr *LogReader) Next() (Record, uint32, error) {
 	}, s.Input, nil
 }
 
+// NextEntry returns the next whole datagram entry: its collector
+// arrival time and the parsed datagram. It is the replay-grade view of
+// the log — one network datagram per call, the unit a UDP re-sender
+// transmits — while Next iterates sample by sample. The two share the
+// reader's position: NextEntry skips any samples of the current
+// datagram that Next has not yielded yet, so callers should pick one
+// access style per reader. End-of-input behaves exactly like Next
+// (io.EOF clean, io.ErrUnexpectedEOF mid-entry and resumable).
+func (lr *LogReader) NextEntry() (simclock.Time, *Datagram, error) {
+	if err := lr.readEntry(); err != nil {
+		return 0, nil, err
+	}
+	lr.next = len(lr.dg.Samples) // consumed wholesale; Next moves on
+	return lr.dgT, lr.dg, nil
+}
+
 // readEntry reads and parses the next timestamped datagram entry.
 func (lr *LogReader) readEntry() error {
 	lr.dg, lr.next = nil, 0
