@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare fuzz fmt vet daemon-smoke ci
+.PHONY: all build test race bench bench-baseline bench-compare fuzz fmt vet daemon-smoke chaos-smoke ci
 
 all: build test
 
@@ -47,10 +47,17 @@ fuzz:
 daemon-smoke:
 	./scripts/daemon_smoke.sh
 
+# Chaos smoke: the crash-recovery and fault-injection suite,
+# race-enabled. Replay through deterministic faults (fixed seed) must
+# match the clean run's detections; a lossy fault storm must leave
+# every datagram accounted for and /healthz back at ok.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestServiceChaos|TestServiceCrashRecovery|TestTailServiceResume' ./internal/server/ ./internal/faults/
+
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
 
-ci: build fmt vet test race fuzz bench daemon-smoke
+ci: build fmt vet test race fuzz bench daemon-smoke chaos-smoke

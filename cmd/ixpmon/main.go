@@ -9,17 +9,22 @@
 // an sFlow v5 datagram log in arrival order the way a collector socket
 // would deliver it. -follow keeps the monitor attached after the last
 // complete entry, tailing the file for appended datagrams with a
-// capped exponential backoff (the log reader resumes mid-entry, so a
-// partially flushed write is picked up once complete); interrupt it to
-// get the summary, including time spent waiting in the per-stage
-// timings.
+// capped exponential backoff (a partially flushed write is picked up
+// once complete, and a log truncated or rotated out from under the
+// tail is reopened cleanly); interrupt it to get the summary,
+// including time spent waiting in the per-stage timings.
 //
 // Service mode (-serve): an always-on daemon ingesting sFlow v5
-// datagrams over UDP from any number of collectors, aggregating them
-// in a sliding window, and serving /detections, /stages, /sources,
-// /metrics, and /window over HTTP. SIGINT/SIGTERM shuts it down
-// gracefully (the day in progress is finalized and detections
-// reported). See docs/OPERATIONS.md for the full surface.
+// datagrams over UDP from any number of collectors — or tailing a
+// datagram log with -tail — aggregating them in a sliding window, and
+// serving /detections, /stages, /sources, /metrics, /window, and
+// /healthz over HTTP. With -state it checkpoints its running state
+// periodically and at shutdown, and -resume continues from the newest
+// valid checkpoint after a crash or restart without double-counting a
+// sample. SIGINT/SIGTERM shuts it down gracefully (the backlog is
+// drained, the day in progress finalized, detections reported). See
+// docs/OPERATIONS.md for the full surface and the failure-handling
+// semantics.
 //
 // Sender mode (-send): replays a recorded datagram log over UDP to a
 // service-mode instance, carrying each entry's capture time in the
@@ -30,6 +35,7 @@
 //	ixpmon [-scale 0.05] [-days 14] [-interval 5m] [-concurrency 0]
 //	ixpmon -sflow FILE [-follow] [-interval 5m] [-names 29]
 //	ixpmon -serve [-listen ADDR] [-http ADDR] [-window 7] [-timestamps wall|uptime]
+//	       [-state DIR [-resume] [-checkpoint-every 1m]] [-tail FILE]
 //	ixpmon -send FILE -to ADDR [-burst 64] [-pause 2ms]
 package main
 
@@ -62,20 +68,18 @@ const (
 	tailWaitMax = 5 * time.Second
 )
 
-// tailLog feeds a datagram log through the monitor in arrival order.
-// With follow, end-of-input waits for the file to grow instead of
-// finishing; a signal on stop ends the tail and flushes the summary.
-// Wait and processing time accumulate in stages.
+// tailLog feeds a datagram log through the monitor in arrival order,
+// through sflow.Tailer — so a log that is truncated or rotated out
+// from under the tail is reopened cleanly instead of wedging the
+// monitor. With follow, end-of-input waits for the file to grow
+// instead of finishing; a signal on stop ends the tail and flushes the
+// summary. Wait and processing time accumulate in stages.
 func tailLog(mon *core.Monitor, path string, follow bool, stop <-chan os.Signal, stages *server.Stages) error {
-	f, err := os.Open(path)
+	tl, err := sflow.NewTailer(path, 0)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	lr, err := sflow.NewLogReader(f)
-	if err != nil {
-		return err
-	}
+	defer tl.Close()
 	// No routing substrate for a raw capture: origin/peer stay
 	// unmapped unless the flow sample carries an ingress port.
 	cp := ixp.NewCapturePoint(nil, mon.Table())
@@ -83,9 +87,10 @@ func tailLog(mon *core.Monitor, path string, follow bool, stop <-chan os.Signal,
 	n, dayN := 0, 0
 	curDay := simclock.Time(-1)
 	wait := tailWaitMin
+	var reopens uint64
 	for {
 		stopProcess := stages.Track("process")
-		rec, input, err := lr.Next()
+		rec, input, err := tl.Next()
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			stopProcess()
 			if follow {
@@ -109,6 +114,10 @@ func tailLog(mon *core.Monitor, path string, follow bool, stop <-chan os.Signal,
 			return err
 		}
 		wait = tailWaitMin // data arrived: the log is live again
+		if r := tl.Reopens(); r != reopens {
+			reopens = r
+			fmt.Fprintf(os.Stderr, "ixpmon: %s truncated or rotated; reopened (offset %d)\n", path, tl.Offset())
+		}
 		if day := rec.Time.StartOfDay(); day != curDay {
 			if curDay >= 0 {
 				fmt.Fprintf(os.Stderr, "%s: %d samples processed\n", curDay.Date(), dayN)
@@ -152,8 +161,19 @@ func runServe(cfg server.Config) error {
 	if err := svc.Start(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "ixpmon: serving sflow on udp %s, control surface on http://%s (window %dd, refresh %v)\n",
-		svc.Addr(), svc.HTTPAddr(), cfg.Window.Days, time.Duration(cfg.Window.Refresh)*time.Second)
+	if from := svc.ResumedFrom(); from != "" {
+		fmt.Fprintf(os.Stderr, "ixpmon: resumed from %s\n", from)
+	}
+	if cfg.TailLog != "" {
+		fmt.Fprintf(os.Stderr, "ixpmon: tailing %s, control surface on http://%s (window %dd, refresh %v)\n",
+			cfg.TailLog, svc.HTTPAddr(), cfg.Window.Days, time.Duration(cfg.Window.Refresh)*time.Second)
+	} else {
+		fmt.Fprintf(os.Stderr, "ixpmon: serving sflow on udp %s, control surface on http://%s (window %dd, refresh %v)\n",
+			svc.Addr(), svc.HTTPAddr(), cfg.Window.Days, time.Duration(cfg.Window.Refresh)*time.Second)
+	}
+	if cfg.StateDir != "" {
+		fmt.Fprintf(os.Stderr, "ixpmon: crash-safe state in %s (checkpoint every %v)\n", cfg.StateDir, cfg.CheckpointEvery)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -208,6 +228,10 @@ func main() {
 	httpAddr := flag.String("http", "127.0.0.1:8080", "with -serve: HTTP listen address for the control surface")
 	windowDays := flag.Int("window", 7, "with -serve: sliding window width in days")
 	timestamps := flag.String("timestamps", "wall", "with -serve: datagram time source, wall|uptime (uptime = replayed capture time)")
+	stateDir := flag.String("state", "", "with -serve: directory for checkpoints and poison files (enables crash-safe state)")
+	resume := flag.Bool("resume", false, "with -serve -state: resume from the newest valid checkpoint and continue mid-stream")
+	ckptEvery := flag.Duration("checkpoint-every", time.Minute, "with -serve -state: periodic checkpoint cadence (<= 0 keeps only the shutdown checkpoint)")
+	tailPath := flag.String("tail", "", "with -serve: tail an sFlow datagram log instead of listening on UDP")
 
 	sendPath := flag.String("send", "", "replay a datagram log over UDP to a -serve instance and exit")
 	sendTo := flag.String("to", "127.0.0.1:6343", "with -send: destination address")
@@ -221,6 +245,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ixpmon: -timestamps must be wall or uptime")
 			os.Exit(2)
 		}
+		if *resume && *stateDir == "" {
+			fmt.Fprintln(os.Stderr, "ixpmon: -resume needs -state")
+			os.Exit(2)
+		}
+		ce := *ckptEvery
+		if ce <= 0 {
+			ce = -1 // disable the timer; the shutdown checkpoint remains
+		}
 		err := runServe(server.Config{
 			UDPAddr:        *listen,
 			HTTPAddr:       *httpAddr,
@@ -230,6 +262,10 @@ func main() {
 				ListSize: *listSize,
 				Refresh:  simclock.Duration(interval.Seconds()),
 			},
+			StateDir:        *stateDir,
+			Resume:          *resume,
+			CheckpointEvery: ce,
+			TailLog:         *tailPath,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ixpmon:", err)

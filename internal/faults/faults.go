@@ -1,0 +1,268 @@
+// Package faults wraps the I/O boundaries the service depends on —
+// net.PacketConn, io.Reader, io.Writer — with schedule-driven fault
+// injection: datagram drops, duplication, reordering, corruption,
+// latency, short reads/writes, transient errors, and ENOSPC. Every
+// decision comes from one seeded PCG stream, so a chaos run is
+// reproducible from a single uint64: same seed + same operation
+// sequence = same faults, byte for byte. The wrappers count what they
+// inject, which is what lets the chaos soak close its accounting —
+// every datagram the service did not consume must be explained by an
+// injected fault or a deliberate shed, never silently lost.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the transient error the wrappers return for injected
+// read/write failures. It implements net.Error with Temporary() true,
+// matching the class of errors a robust caller retries with backoff.
+var ErrInjected error = transientError{}
+
+type transientError struct{}
+
+func (transientError) Error() string   { return "faults: injected transient error" }
+func (transientError) Timeout() bool   { return false }
+func (transientError) Temporary() bool { return true }
+
+// Plan is a fault schedule: per-operation probabilities in [0, 1].
+// The zero value injects nothing.
+type Plan struct {
+	Seed uint64
+
+	// Datagram faults, applied by PacketConn on the send path.
+	Drop    float64 // swallow the datagram
+	Dup     float64 // send it twice
+	Reorder float64 // hold it back until after the next datagram
+	Corrupt float64 // flip bytes in a copy before sending
+
+	// Latency injects a uniform [0, LatencyMax) sleep before a send.
+	Latency    float64
+	LatencyMax time.Duration
+
+	// Stream faults, applied by Reader / Writer.
+	ShortRead  float64 // read into a shortened buffer (legal, stresses resume paths)
+	ReadErr    float64 // transient read error
+	ShortWrite float64 // write a prefix, return io.ErrShortWrite
+	WriteErr   float64 // transient write error
+	ENOSPC     float64 // error wrapping syscall.ENOSPC
+}
+
+// Counters tallies injected faults. Fields are atomics so wrapped
+// endpoints can be driven from multiple goroutines.
+type Counters struct {
+	Drops       atomic.Uint64
+	Dups        atomic.Uint64
+	Reorders    atomic.Uint64
+	Corruptions atomic.Uint64
+	Delays      atomic.Uint64
+	ShortReads  atomic.Uint64
+	ReadErrs    atomic.Uint64
+	ShortWrites atomic.Uint64
+	WriteErrs   atomic.Uint64
+	ENOSPCs     atomic.Uint64
+}
+
+// Stats is a plain-value snapshot of Counters.
+type Stats struct {
+	Drops, Dups, Reorders, Corruptions, Delays   uint64
+	ShortReads, ReadErrs, ShortWrites, WriteErrs uint64
+	ENOSPCs                                      uint64
+}
+
+// Injector owns one seeded random stream and the fault counters. One
+// injector may wrap several endpoints; they share the stream, so full
+// determinism requires a deterministic operation order across them
+// (one goroutine, or one endpoint per injector).
+type Injector struct {
+	plan Plan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	c Counters
+}
+
+// New builds an injector for the plan, seeded from Plan.Seed.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan, rng: rand.New(rand.NewPCG(plan.Seed, 0x5fa0175))}
+}
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Drops: in.c.Drops.Load(), Dups: in.c.Dups.Load(), Reorders: in.c.Reorders.Load(),
+		Corruptions: in.c.Corruptions.Load(), Delays: in.c.Delays.Load(),
+		ShortReads: in.c.ShortReads.Load(), ReadErrs: in.c.ReadErrs.Load(),
+		ShortWrites: in.c.ShortWrites.Load(), WriteErrs: in.c.WriteErrs.Load(),
+		ENOSPCs: in.c.ENOSPCs.Load(),
+	}
+}
+
+// roll draws one probability decision from the seeded stream. A zero
+// probability still burns no draw, keeping plans with disabled faults
+// aligned with the same seed's enabled ones only when the plan matches
+// — determinism is per (seed, plan, op sequence).
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	ok := in.rng.Float64() < p
+	in.mu.Unlock()
+	return ok
+}
+
+// intn draws a uniform [0, n) int from the seeded stream.
+func (in *Injector) intn(n int) int {
+	in.mu.Lock()
+	v := in.rng.IntN(n)
+	in.mu.Unlock()
+	return v
+}
+
+// PacketConn wraps c with the plan's datagram faults on the send path
+// (WriteTo) and transient errors on the receive path (ReadFrom). Close
+// flushes a held reordered datagram.
+func (in *Injector) PacketConn(c net.PacketConn) net.PacketConn {
+	return &packetConn{PacketConn: c, in: in}
+}
+
+type packetConn struct {
+	net.PacketConn
+	in *Injector
+
+	mu       sync.Mutex
+	held     []byte
+	heldAddr net.Addr
+}
+
+func (pc *packetConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	in := pc.in
+	if in.roll(in.plan.Latency) && in.plan.LatencyMax > 0 {
+		in.c.Delays.Add(1)
+		time.Sleep(time.Duration(in.intn(int(in.plan.LatencyMax))))
+	}
+	if in.roll(in.plan.Drop) {
+		in.c.Drops.Add(1)
+		return len(p), nil // swallowed: the caller believes it sent
+	}
+	buf := p
+	if in.roll(in.plan.Corrupt) {
+		in.c.Corruptions.Add(1)
+		buf = append([]byte(nil), p...)
+		for i, n := 0, 1+in.intn(3); i < n && len(buf) > 0; i++ {
+			buf[in.intn(len(buf))] ^= byte(1 + in.intn(255))
+		}
+	}
+
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.held == nil && in.roll(in.plan.Reorder) {
+		in.c.Reorders.Add(1)
+		pc.held = append([]byte(nil), buf...)
+		pc.heldAddr = addr
+		return len(p), nil // delivered late, after the next datagram
+	}
+	if _, err := pc.PacketConn.WriteTo(buf, addr); err != nil {
+		return 0, err
+	}
+	if in.roll(in.plan.Dup) {
+		in.c.Dups.Add(1)
+		if _, err := pc.PacketConn.WriteTo(buf, addr); err != nil {
+			return 0, err
+		}
+	}
+	if pc.held != nil {
+		held, haddr := pc.held, pc.heldAddr
+		pc.held, pc.heldAddr = nil, nil
+		if _, err := pc.PacketConn.WriteTo(held, haddr); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+func (pc *packetConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	if pc.in.roll(pc.in.plan.ReadErr) {
+		pc.in.c.ReadErrs.Add(1)
+		return 0, nil, ErrInjected
+	}
+	return pc.PacketConn.ReadFrom(p)
+}
+
+// Close flushes a held reordered datagram so nothing is silently lost
+// at the end of a run, then closes the underlying conn.
+func (pc *packetConn) Close() error {
+	pc.mu.Lock()
+	held, haddr := pc.held, pc.heldAddr
+	pc.held, pc.heldAddr = nil, nil
+	pc.mu.Unlock()
+	if held != nil {
+		pc.PacketConn.WriteTo(held, haddr)
+	}
+	return pc.PacketConn.Close()
+}
+
+// Reader wraps r with short reads and transient read errors.
+func (in *Injector) Reader(r io.Reader) io.Reader {
+	return &reader{r: r, in: in}
+}
+
+type reader struct {
+	r  io.Reader
+	in *Injector
+}
+
+func (fr *reader) Read(p []byte) (int, error) {
+	in := fr.in
+	if in.roll(in.plan.ReadErr) {
+		in.c.ReadErrs.Add(1)
+		return 0, ErrInjected
+	}
+	if len(p) > 1 && in.roll(in.plan.ShortRead) {
+		in.c.ShortReads.Add(1)
+		p = p[:1+in.intn(len(p)-1)]
+	}
+	return fr.r.Read(p)
+}
+
+// Writer wraps w with short writes, transient errors, and ENOSPC. A
+// short write really writes the prefix it reports, so a caller that
+// resumes at the returned offset loses nothing.
+func (in *Injector) Writer(w io.Writer) io.Writer {
+	return &writer{w: w, in: in}
+}
+
+type writer struct {
+	w  io.Writer
+	in *Injector
+}
+
+func (fw *writer) Write(p []byte) (int, error) {
+	in := fw.in
+	if in.roll(in.plan.WriteErr) {
+		in.c.WriteErrs.Add(1)
+		return 0, ErrInjected
+	}
+	if in.roll(in.plan.ENOSPC) {
+		in.c.ENOSPCs.Add(1)
+		return 0, fmt.Errorf("faults: injected: %w", syscall.ENOSPC)
+	}
+	if len(p) > 1 && in.roll(in.plan.ShortWrite) {
+		in.c.ShortWrites.Add(1)
+		n, err := fw.w.Write(p[:1+in.intn(len(p)-1)])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	}
+	return fw.w.Write(p)
+}

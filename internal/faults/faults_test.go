@@ -1,0 +1,204 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// memConn is a loopback-free net.PacketConn capturing writes in order.
+type memConn struct {
+	sent [][]byte
+}
+
+func (m *memConn) WriteTo(p []byte, _ net.Addr) (int, error) {
+	m.sent = append(m.sent, append([]byte(nil), p...))
+	return len(p), nil
+}
+func (m *memConn) ReadFrom(p []byte) (int, net.Addr, error) { return 0, nil, io.EOF }
+func (m *memConn) Close() error                             { return nil }
+func (m *memConn) LocalAddr() net.Addr                      { return nil }
+func (m *memConn) SetDeadline(t time.Time) error            { return nil }
+func (m *memConn) SetReadDeadline(t time.Time) error        { return nil }
+func (m *memConn) SetWriteDeadline(t time.Time) error       { return nil }
+
+var plan = Plan{
+	Seed: 42,
+	Drop: 0.1, Dup: 0.1, Reorder: 0.1, Corrupt: 0.1,
+	ShortRead: 0.2, ReadErr: 0.1,
+	ShortWrite: 0.2, WriteErr: 0.1, ENOSPC: 0.05,
+}
+
+// runConn pushes n numbered datagrams through a fresh wrapped conn and
+// returns what came out the far side plus the fault stats.
+func runConn(n int) ([][]byte, Stats) {
+	in := New(plan)
+	mem := &memConn{}
+	pc := in.PacketConn(mem)
+	for i := 0; i < n; i++ {
+		pc.WriteTo([]byte{byte(i), byte(i >> 8), 0xaa, 0xbb}, nil)
+	}
+	pc.Close()
+	return mem.sent, in.Stats()
+}
+
+// TestDeterministicFromSeed: the whole fault schedule — which datagrams
+// drop, duplicate, reorder, corrupt, and into what bytes — replays
+// identically from the seed.
+func TestDeterministicFromSeed(t *testing.T) {
+	sentA, statsA := runConn(500)
+	sentB, statsB := runConn(500)
+	if !reflect.DeepEqual(sentA, sentB) {
+		t.Fatal("same seed produced different datagram streams")
+	}
+	if statsA != statsB {
+		t.Fatalf("same seed produced different stats:\nA %+v\nB %+v", statsA, statsB)
+	}
+	for _, want := range []struct {
+		name string
+		got  uint64
+	}{
+		{"drops", statsA.Drops}, {"dups", statsA.Dups},
+		{"reorders", statsA.Reorders}, {"corruptions", statsA.Corruptions},
+	} {
+		if want.got == 0 {
+			t.Errorf("no %s injected over 500 datagrams at p=0.1", want.name)
+		}
+	}
+	// Conservation: everything sent is explained by the counters.
+	wantOut := 500 - statsA.Drops - statsA.Reorders + statsA.Dups + statsA.Reorders
+	if uint64(len(sentA)) != wantOut {
+		t.Fatalf("%d datagrams out, counters say %d", len(sentA), wantOut)
+	}
+
+	other, _ := runConnSeed(43, 500)
+	if reflect.DeepEqual(sentA, other) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func runConnSeed(seed uint64, n int) ([][]byte, Stats) {
+	p := plan
+	p.Seed = seed
+	in := New(p)
+	mem := &memConn{}
+	pc := in.PacketConn(mem)
+	for i := 0; i < n; i++ {
+		pc.WriteTo([]byte{byte(i), byte(i >> 8), 0xaa, 0xbb}, nil)
+	}
+	pc.Close()
+	return mem.sent, in.Stats()
+}
+
+// TestReorderDelaysOneDatagram: a reordered datagram arrives right
+// after its successor, and Close flushes one held at end of stream.
+func TestReorderDelaysOneDatagram(t *testing.T) {
+	in := New(Plan{Seed: 7, Reorder: 1})
+	mem := &memConn{}
+	pc := in.PacketConn(mem)
+	pc.WriteTo([]byte{1}, nil) // held
+	pc.WriteTo([]byte{2}, nil) // sent, then releases 1
+	pc.WriteTo([]byte{3}, nil) // held again
+	pc.Close()                 // flushes 3
+	want := [][]byte{{2}, {1}, {3}}
+	if !reflect.DeepEqual(mem.sent, want) {
+		t.Fatalf("sent %v, want %v", mem.sent, want)
+	}
+	if got := in.Stats().Reorders; got != 2 {
+		t.Fatalf("Reorders = %d, want 2", got)
+	}
+}
+
+// TestReaderFaults: transient errors surface as ErrInjected (a
+// temporary net.Error) and short reads still deliver all the bytes to
+// a retrying reader.
+func TestReaderFaults(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xc5}, 1<<14)
+	in := New(Plan{Seed: 9, ShortRead: 0.5, ReadErr: 0.2})
+	r := in.Reader(bytes.NewReader(payload))
+
+	var got []byte
+	buf := make([]byte, 512)
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if errors.Is(err, ErrInjected) {
+			var ne net.Error
+			if !errors.As(err, &ne) || !ne.Temporary() {
+				t.Fatal("ErrInjected is not a temporary net.Error")
+			}
+			continue // a robust caller retries
+		}
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read %d bytes, want %d intact", len(got), len(payload))
+	}
+	st := in.Stats()
+	if st.ShortReads == 0 || st.ReadErrs == 0 {
+		t.Fatalf("expected both fault kinds, got %+v", st)
+	}
+}
+
+// TestWriterFaults: a retry-at-offset loop over the faulty writer
+// reconstructs the exact payload; ENOSPC is detectable via errors.Is.
+func TestWriterFaults(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x3e, 0x17}, 1<<13)
+	in := New(Plan{Seed: 11, ShortWrite: 0.4, WriteErr: 0.2, ENOSPC: 0.1})
+	var sink bytes.Buffer
+	w := in.Writer(&sink)
+
+	sawENOSPC := false
+	for off := 0; off < len(payload); {
+		end := min(off+256, len(payload)) // chunked, so many rolls happen
+		n, err := w.Write(payload[off:end])
+		off += n
+		switch {
+		case err == nil:
+		case errors.Is(err, syscall.ENOSPC):
+			sawENOSPC = true
+		case errors.Is(err, ErrInjected), errors.Is(err, io.ErrShortWrite):
+		default:
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if !bytes.Equal(sink.Bytes(), payload) {
+		t.Fatalf("sink holds %d bytes, want the %d-byte payload intact", sink.Len(), len(payload))
+	}
+	st := in.Stats()
+	if st.ShortWrites == 0 || st.WriteErrs == 0 || !sawENOSPC || st.ENOSPCs == 0 {
+		t.Fatalf("expected all write fault kinds, got %+v (ENOSPC seen: %v)", st, sawENOSPC)
+	}
+}
+
+// TestZeroPlanIsTransparent: the zero plan never perturbs anything.
+func TestZeroPlanIsTransparent(t *testing.T) {
+	in := New(Plan{Seed: 1})
+	mem := &memConn{}
+	pc := in.PacketConn(mem)
+	for i := 0; i < 100; i++ {
+		pc.WriteTo([]byte{byte(i)}, nil)
+	}
+	pc.Close()
+	if len(mem.sent) != 100 {
+		t.Fatalf("%d datagrams out, want 100", len(mem.sent))
+	}
+	for i, d := range mem.sent {
+		if len(d) != 1 || d[0] != byte(i) {
+			t.Fatalf("datagram %d = %v, perturbed by zero plan", i, d)
+		}
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("zero plan counted faults: %+v", st)
+	}
+}

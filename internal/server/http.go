@@ -50,7 +50,23 @@ func (s *Service) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		st := s.Health()
+		if st == HealthDegraded {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, st)
+	})
+	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		path, err := s.Checkpoint()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]string{"checkpoint": path})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -109,6 +125,48 @@ func (s *Service) registerMetrics() {
 		emit(float64(s.queueDrops.Load()))
 	})
 
+	// Robustness families: overload state machine, global sheds, resume
+	// accounting, ingest retries, panic isolation, checkpoints.
+	gauge("ixpmon_health_state", "Overload state: 0 ok, 1 recovering, 2 degraded.", func(emit metrics.Emit) {
+		emit(float64(s.Health()))
+	})
+	counter("ixpmon_degraded_total", "Transitions into the degraded state.", func(emit metrics.Emit) {
+		emit(float64(s.health.degradations.Load()))
+	})
+	counter("ixpmon_sampled_out_total", "Datagrams shed by tier-2 global sampling-down (1-in-2 above 3/4 queue).", func(emit metrics.Emit) {
+		emit(float64(s.health.sampledOut.Load()))
+	})
+	counter("ixpmon_shed_all_total", "Datagrams shed by tier-3 detection-only mode (above 7/8 queue).", func(emit metrics.Emit) {
+		emit(float64(s.health.shedAll.Load()))
+	})
+	counter("ixpmon_replay_skipped_total", "Post-resume datagrams skipped at or below the checkpointed cursor.", func(emit metrics.Emit) {
+		emit(float64(s.replaySkipped.Load()))
+	})
+	counter("ixpmon_read_retries_total", "Transient ingest read errors retried with backoff.", func(emit metrics.Emit) {
+		emit(float64(s.readRetries.Load()))
+	})
+	counter("ixpmon_socket_rebinds_total", "Ingest sockets rebound after dying mid-run.", func(emit metrics.Emit) {
+		emit(float64(s.rebinds.Load()))
+	})
+	counter("ixpmon_consumer_panics_total", "Consumer panics isolated (datagram quarantined, drain continued).", func(emit metrics.Emit) {
+		emit(float64(s.panics.Load()))
+	})
+	counter("ixpmon_checkpoints_total", "Checkpoints written successfully.", func(emit metrics.Emit) {
+		emit(float64(s.ckpts.Load()))
+	})
+	counter("ixpmon_checkpoint_errors_total", "Checkpoint attempts that failed after retries.", func(emit metrics.Emit) {
+		emit(float64(s.ckptErrors.Load()))
+	})
+	gauge("ixpmon_checkpoint_bytes", "Size of the newest checkpoint file.", func(emit metrics.Emit) {
+		emit(float64(s.ckptBytes.Load()))
+	})
+	counter("ixpmon_tail_reopens_total", "Tail-log reopens after truncation or rotation.", func(emit metrics.Emit) {
+		emit(float64(s.tailReopens.Load()))
+	})
+	gauge("ixpmon_tail_offset_bytes", "Tail-log byte offset drained into the window.", func(emit metrics.Emit) {
+		emit(float64(s.TailOffset()))
+	})
+
 	// Per-source families share one snapshot-per-scrape walk.
 	perSource := func(f func(st *SourceStats) float64) metrics.Collector {
 		return func(emit metrics.Emit) {
@@ -123,6 +181,7 @@ func (s *Service) registerMetrics() {
 	counter("ixpmon_source_sequence_lost_total", "Datagrams presumed lost in flight (sequence gaps, net of late arrivals).", perSource(func(st *SourceStats) float64 { return float64(st.Lost) }))
 	counter("ixpmon_source_out_of_order_total", "Datagrams arriving late, reordered, or duplicated.", perSource(func(st *SourceStats) float64 { return float64(st.OutOfOrder) }))
 	counter("ixpmon_source_queue_drops_total", "Datagrams shed because this collector exceeded its queue share.", perSource(func(st *SourceStats) float64 { return float64(st.QueueDrops) }))
+	counter("ixpmon_source_replay_skipped_total", "Post-resume datagrams skipped per collector (already consumed before the checkpoint).", perSource(func(st *SourceStats) float64 { return float64(st.ReplaySkipped) }))
 	gauge("ixpmon_source_sampling_rate", "Current sampling denominator N (1-in-N) per collector.", perSource(func(st *SourceStats) float64 { return float64(st.Rate) }))
 	counter("ixpmon_source_rate_changes_total", "Observed sampling-rate switches per collector.", perSource(func(st *SourceStats) float64 { return float64(st.RateChanges) }))
 	gauge("ixpmon_source_agent_drops", "Agent-reported cumulative sample drops (flow-sample drops field).", perSource(func(st *SourceStats) float64 { return float64(st.AgentDrops) }))

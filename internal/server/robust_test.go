@@ -1,0 +1,577 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dnsamp/internal/core"
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+)
+
+// logDatagrams decodes a wireLog into send-ready datagram bytes, each
+// with its recorded arrival second stamped into Uptime (the replay
+// convention TimeFromUptime consumes).
+func logDatagrams(t *testing.T, logBytes []byte) [][]byte {
+	t.Helper()
+	lr, err := sflow.NewLogReader(bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	for {
+		at, dgm, err := lr.NextEntry()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		dgm.Uptime = uint32(at)
+		out = append(out, sflow.EncodeDatagram(dgm))
+	}
+	return out
+}
+
+// sendPaced writes datagrams over UDP, pacing against the service's
+// receive counter so the in-flight window stays under the socket
+// buffer. Pacing on Received (not Consumed) keeps it correct when some
+// datagrams are expected to be shed or replay-skipped.
+func sendPaced(t *testing.T, svc *Service, conn *net.UDPConn, dgs [][]byte) {
+	t.Helper()
+	rcv0 := svc.Received()
+	for i, b := range dgs {
+		if _, err := conn.Write(b); err != nil {
+			t.Fatalf("sending datagram %d: %v", i, err)
+		}
+		if (i+1)%64 == 0 {
+			n := rcv0 + uint64(i+1) - 64
+			waitUntil(t, "receiver to catch up", func() bool { return svc.Received() >= n })
+		}
+	}
+	want := rcv0 + uint64(len(dgs))
+	waitUntil(t, "all sent datagrams received", func() bool { return svc.Received() == want })
+}
+
+func shutdownSvc(t *testing.T, svc *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// finalState reads the finalized window: retained detections and the
+// total samples folded into the aggregate.
+func finalState(svc *Service) ([]*core.Detection, int) {
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	return svc.win.Detections(), svc.win.agg.Samples
+}
+
+// miniDatagram builds a one-sample datagram from a fixed agent; the
+// frame is garbage (sheds at the capture point) so tests that only
+// exercise the datagram path stay small.
+func miniDatagram(seq uint32) []byte {
+	return sflow.EncodeDatagram(&sflow.Datagram{
+		Agent: [4]byte{198, 51, 100, 9}, SubAgent: 1, Seq: seq,
+		Samples: []sflow.FlowSample{{
+			Seq: seq, Rate: 2048, FrameLen: 64, Header: []byte{1, 2, 3, 4},
+		}},
+	})
+}
+
+// TestServiceCrashRecovery is the tentpole golden: a service killed
+// mid-study and resumed from its checkpoint must end with detections
+// byte-identical to an uninterrupted run — including when the sender
+// replays an overlapping window of already-consumed datagrams, which
+// the resume barrier must skip without double-counting a single
+// sample.
+func TestServiceCrashRecovery(t *testing.T) {
+	const days, listN = 4, 29
+	dgs := logDatagrams(t, wireLog(t, days).Bytes())
+	wcfg := WindowConfig{Days: 2, ListSize: listN, Refresh: simclock.Hour}
+
+	// Uninterrupted reference run.
+	ref := startService(t, Config{TimeFromUptime: true, Window: wcfg})
+	sendPaced(t, ref, dialService(t, ref), dgs)
+	waitUntil(t, "reference drained", func() bool { return ref.Consumed() == uint64(len(dgs)) })
+	shutdownSvc(t, ref)
+	wantDets, wantSamples := finalState(ref)
+	if len(wantDets) == 0 {
+		t.Fatal("reference run found no detections; the golden comparison would be vacuous")
+	}
+
+	// Interrupted run, phase 1: two thirds of the stream, then die.
+	dir := t.TempDir()
+	cut := len(dgs) * 2 / 3
+	const overlap = 32
+	base := Config{
+		TimeFromUptime: true, Window: wcfg,
+		StateDir: dir, CheckpointEvery: -1,
+	}
+	svc1 := startService(t, base)
+	sendPaced(t, svc1, dialService(t, svc1), dgs[:cut])
+	waitUntil(t, "phase 1 drained", func() bool { return svc1.Consumed() == uint64(cut) })
+
+	// The control surface can force a checkpoint (POST only).
+	resp, err := http.Post("http://"+svc1.HTTPAddr().String()+"/checkpoint", "", nil)
+	if err != nil {
+		t.Fatalf("POST /checkpoint: %v", err)
+	}
+	var ck struct {
+		Checkpoint string `json:"checkpoint"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ck); err != nil || resp.StatusCode != http.StatusOK || ck.Checkpoint == "" {
+		t.Fatalf("POST /checkpoint: status %d, body %+v, err %v", resp.StatusCode, ck, err)
+	}
+	resp.Body.Close()
+	if resp, err := http.Get("http://" + svc1.HTTPAddr().String() + "/checkpoint"); err == nil {
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /checkpoint: status %d, want 405", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	shutdownSvc(t, svc1)
+
+	// Phase 2: resume from the checkpoint and replay the tail of the
+	// stream with an overlap into already-consumed territory.
+	cfg2 := base
+	cfg2.Resume = true
+	svc2 := startService(t, cfg2)
+	if svc2.ResumedFrom() == "" {
+		t.Fatal("resumed service loaded no checkpoint")
+	}
+	sendPaced(t, svc2, dialService(t, svc2), dgs[cut-overlap:])
+	waitUntil(t, "phase 2 drained", func() bool { return svc2.Consumed() == uint64(len(dgs)) })
+	if got := svc2.ReplaySkipped(); got != overlap {
+		t.Errorf("replay barrier skipped %d datagrams, want %d", got, overlap)
+	}
+	if drops := ref.QueueDrops() + svc1.QueueDrops() + svc2.QueueDrops(); drops != 0 {
+		t.Fatalf("backpressure shed %d datagrams of a paced replay", drops)
+	}
+	shutdownSvc(t, svc2)
+
+	gotDets, gotSamples := finalState(svc2)
+	if gotSamples != wantSamples {
+		t.Errorf("samples across the crash boundary: resumed %d, uninterrupted %d", gotSamples, wantSamples)
+	}
+	if len(gotDets) != len(wantDets) {
+		t.Fatalf("detections: resumed %d, uninterrupted %d\nresumed: %+v\nuninterrupted: %+v",
+			len(gotDets), len(wantDets), gotDets, wantDets)
+	}
+	for i := range gotDets {
+		if !reflect.DeepEqual(gotDets[i], wantDets[i]) {
+			t.Errorf("detection %d: resumed %+v, uninterrupted %+v", i, *gotDets[i], *wantDets[i])
+		}
+	}
+
+	svc2.mu.Lock()
+	st2 := svc2.win.Stats()
+	svc2.mu.Unlock()
+	ref.mu.Lock()
+	stRef := ref.win.Stats()
+	ref.mu.Unlock()
+	if st2.ClosedDays != stRef.ClosedDays || st2.Evicted != stRef.Evicted || st2.LateSamples != stRef.LateSamples {
+		t.Errorf("window counters diverged across the crash: resumed %+v, uninterrupted %+v", st2, stRef)
+	}
+}
+
+// TestShutdownDrainsBacklog: SIGTERM with a backlogged queue must
+// observe every queued datagram and finalize the day in progress
+// before the service exits.
+func TestShutdownDrainsBacklog(t *testing.T) {
+	dgs := logDatagrams(t, wireLog(t, 1).Bytes())
+	if len(dgs) > 48 {
+		dgs = dgs[:48]
+	}
+	svc := NewService(Config{
+		TimeFromUptime: true,
+		Window:         WindowConfig{Days: 2},
+		QueueLen:       64, PerSourceQueue: 64,
+	})
+	svc.gate = make(chan struct{})
+	if err := svc.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	conn := dialService(t, svc)
+	for i, b := range dgs {
+		if _, err := conn.Write(b); err != nil {
+			t.Fatalf("sending datagram %d: %v", i, err)
+		}
+	}
+	waitUntil(t, "backlog received", func() bool { return svc.Received() == uint64(len(dgs)) })
+	if got := svc.Consumed(); got != 0 {
+		t.Fatalf("consumer ran %d datagrams past a closed gate", got)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- svc.Shutdown(ctx)
+	}()
+	waitUntil(t, "shutdown to begin", func() bool { return svc.closing.Load() })
+	close(svc.gate)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	if got := svc.Consumed(); got != uint64(len(dgs)) {
+		t.Errorf("shutdown drained %d of %d backlogged datagrams", got, len(dgs))
+	}
+	if drops := svc.QueueDrops(); drops != 0 {
+		t.Errorf("backlog within the queue bound shed %d datagrams", drops)
+	}
+	svc.mu.Lock()
+	st := svc.win.Stats()
+	samples := svc.win.agg.Samples
+	svc.mu.Unlock()
+	if samples == 0 {
+		t.Error("no samples observed from the drained backlog")
+	}
+	if st.ClosedDays == 0 {
+		t.Errorf("shutdown did not finalize the day in progress: %+v", st)
+	}
+}
+
+// TestSocketRebind: when the ingest socket dies under the reader (not
+// a shutdown), the reader rebinds to the same address and keeps
+// ingesting.
+func TestSocketRebind(t *testing.T) {
+	var mu sync.Mutex
+	var conns []net.PacketConn
+	cfg := Config{Window: WindowConfig{Days: 2}}
+	cfg.ListenPacket = func(addr string) (net.PacketConn, error) {
+		c, err := net.ListenPacket("udp", addr)
+		if err == nil {
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+		return c, err
+	}
+	svc := startService(t, cfg)
+	conn := dialService(t, svc)
+
+	if _, err := conn.Write(miniDatagram(1)); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "first datagram received", func() bool { return svc.Received() == 1 })
+
+	mu.Lock()
+	first := conns[0]
+	mu.Unlock()
+	first.Close() // the socket dies out from under the reader
+	waitUntil(t, "socket rebound", func() bool { return svc.rebinds.Load() == 1 })
+
+	// The rebound socket serves the same address; sends may race the
+	// rebind, so retry until one lands.
+	waitUntil(t, "ingest after rebind", func() bool {
+		conn.Write(miniDatagram(2)) //nolint:errcheck // ICMP-refused sends are expected mid-rebind
+		return svc.Received() >= 2
+	})
+}
+
+// TestConsumerPanicQuarantine: a datagram that panics the consumer is
+// quarantined to a poison file; the drain continues and the service
+// stays healthy.
+func TestConsumerPanicQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	svc := NewService(Config{
+		Window:   WindowConfig{Days: 2},
+		StateDir: dir, CheckpointEvery: -1,
+	})
+	svc.faultPanic = func(dg *sflow.Datagram) bool { return dg.Seq == 2 }
+	if err := svc.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { shutdownSvc(t, svc) })
+	conn := dialService(t, svc)
+
+	for seq := uint32(1); seq <= 4; seq++ {
+		if _, err := conn.Write(miniDatagram(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "all datagrams consumed past the panic", func() bool { return svc.Consumed() == 4 })
+	if got := svc.Panics(); got != 1 {
+		t.Fatalf("panics isolated = %d, want 1", got)
+	}
+	if svc.Health() != HealthOK {
+		t.Errorf("health = %v after an isolated panic, want ok", svc.Health())
+	}
+
+	poisons, _ := filepath.Glob(filepath.Join(dir, "poison-*.sflow"))
+	if len(poisons) != 1 {
+		t.Fatalf("poison files = %v, want exactly 1", poisons)
+	}
+	raw, err := os.ReadFile(poisons[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := raw
+	for i := 0; i < 2; i++ { // two '#' meta lines precede the datagram
+		j := bytes.IndexByte(rest, '\n')
+		if j < 0 || rest[0] != '#' {
+			t.Fatalf("poison file meta header malformed: %q", raw)
+		}
+		rest = rest[j+1:]
+	}
+	dg, err := sflow.ParseDatagram(rest)
+	if err != nil {
+		t.Fatalf("poison file datagram: %v", err)
+	}
+	if dg.Seq != 2 || dg.Agent != [4]byte{198, 51, 100, 9} {
+		t.Errorf("quarantined datagram = agent %v seq %d, want the panicking one (seq 2)", dg.Agent, dg.Seq)
+	}
+}
+
+// TestCheckpointCorruptFallback: resume skips a corrupt newest
+// checkpoint, falls back to the newest valid one, restores cursors
+// from it, and continues the write sequence without overwriting
+// history. With every file corrupt, Start refuses to run.
+func TestCheckpointCorruptFallback(t *testing.T) {
+	dir := t.TempDir()
+	base := Config{
+		Window:   WindowConfig{Days: 2},
+		StateDir: dir, CheckpointEvery: -1,
+	}
+	svc1 := startService(t, base)
+	conn := dialService(t, svc1)
+	for seq := uint32(1); seq <= 8; seq++ {
+		if _, err := conn.Write(miniDatagram(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "first batch consumed", func() bool { return svc1.Consumed() == 8 })
+	p1, err := svc1.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for seq := uint32(9); seq <= 12; seq++ {
+		if _, err := conn.Write(miniDatagram(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "second batch consumed", func() bool { return svc1.Consumed() == 12 })
+	shutdownSvc(t, svc1) // writes the newest checkpoint
+
+	corrupt := func(path string) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths := listCheckpoints(dir)
+	if len(paths) != 2 || paths[0] != p1 {
+		t.Fatalf("checkpoints = %v, want [%s <shutdown>]", paths, p1)
+	}
+	p2 := paths[1]
+	corrupt(p2)
+
+	cfg2 := base
+	cfg2.Resume = true
+	svc2 := startService(t, cfg2)
+	if got := svc2.ResumedFrom(); got != p1 {
+		t.Fatalf("resumed from %q, want fallback to %q", got, p1)
+	}
+	svc2.smu.Lock()
+	src := svc2.sources[sourceKey{agent: [4]byte{198, 51, 100, 9}, subAgent: 1}]
+	svc2.smu.Unlock()
+	if src == nil || src.cursor != 8 || !src.resuming || src.resumeSeq != 8 {
+		t.Fatalf("restored source = %+v, want cursor 8 with the replay barrier armed", src)
+	}
+	shutdownSvc(t, svc2)
+
+	paths = listCheckpoints(dir)
+	newest := paths[len(paths)-1]
+	if filepath.Base(newest) <= filepath.Base(p2) {
+		t.Errorf("resumed service wrote %s, not past the corrupt %s", newest, p2)
+	}
+
+	// Every checkpoint corrupt: files exist but none are loadable, and
+	// silently cold-starting would throw state away — refuse to start.
+	// (Truncation, not a second flip: re-flipping p2 would restore it.)
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, raw[:len(raw)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc3 := NewService(cfg2)
+	if err := svc3.Start(); err == nil {
+		shutdownSvc(t, svc3)
+		t.Fatal("Start resumed from a directory of corrupt checkpoints")
+	}
+}
+
+// TestCheckpointRetention: the retention count bounds how many
+// checkpoint files accumulate.
+func TestCheckpointRetention(t *testing.T) {
+	dir := t.TempDir()
+	svc := startService(t, Config{
+		Window:   WindowConfig{Days: 2},
+		StateDir: dir, CheckpointEvery: -1, CheckpointRetain: 2,
+	})
+	for i := 0; i < 5; i++ {
+		if _, err := svc.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint %d: %v", i, err)
+		}
+	}
+	paths := listCheckpoints(dir)
+	if len(paths) != 2 {
+		t.Fatalf("retained %d checkpoints, want 2: %v", len(paths), paths)
+	}
+	if filepath.Base(paths[1]) != ckptName(4) {
+		t.Errorf("newest = %s, want %s", paths[1], ckptName(4))
+	}
+}
+
+// TestHealthStateMachine walks the overload state machine directly:
+// ok → degraded on overload, degraded → recovering below the
+// low-water mark, recovering → ok only after the hold, with any
+// above-low-water observation resetting the streak.
+func TestHealthStateMachine(t *testing.T) {
+	var h health
+	if h.State() != HealthOK {
+		t.Fatalf("initial state = %v", h.State())
+	}
+	h.noteDepth(100, 100) // depth observations are no-ops while ok
+	if h.State() != HealthOK {
+		t.Fatalf("ok flapped on a depth observation: %v", h.State())
+	}
+	h.noteOverload()
+	if h.State() != HealthDegraded || h.degradations.Load() != 1 {
+		t.Fatalf("after overload: %v, %d transitions", h.State(), h.degradations.Load())
+	}
+	h.noteOverload() // still degraded: not a second transition
+	if h.degradations.Load() != 1 {
+		t.Fatalf("re-overload counted %d transitions", h.degradations.Load())
+	}
+	h.noteDepth(50, 100) // above low water: no recovery yet
+	if h.State() != HealthDegraded {
+		t.Fatalf("recovered above the low-water mark: %v", h.State())
+	}
+	h.noteDepth(10, 100) // below: recovery starts
+	if h.State() != HealthRecovering {
+		t.Fatalf("below low water: %v, want recovering", h.State())
+	}
+	h.noteDepth(30, 100) // a bounce resets the streak but not the state
+	if h.State() != HealthRecovering {
+		t.Fatalf("bounce: %v, want recovering", h.State())
+	}
+	for i := 0; i < recoverHold-1; i++ {
+		h.noteDepth(0, 100)
+	}
+	if h.State() != HealthRecovering {
+		t.Fatalf("recovered before the hold elapsed: %v", h.State())
+	}
+	h.noteDepth(0, 100)
+	if h.State() != HealthOK {
+		t.Fatalf("after the hold: %v, want ok", h.State())
+	}
+}
+
+// TestTailServiceResume: tail-log ingest consumed up to a checkpointed
+// byte offset resumes exactly there — re-reading nothing — and ends
+// with the same window an uninterrupted tail run produces.
+func TestTailServiceResume(t *testing.T) {
+	logBytes := wireLog(t, 2).Bytes()
+
+	// Index the entry boundaries with a throwaway tailer.
+	full := filepath.Join(t.TempDir(), "full.log")
+	if err := os.WriteFile(full, logBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := sflow.NewTailer(full, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	for {
+		if _, _, err := tl.NextEntry(); err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatal(err)
+			}
+			break
+		}
+		offs = append(offs, tl.Offset())
+	}
+	tl.Close()
+	total := len(offs)
+	k := total * 3 / 5
+	cut := offs[k-1]
+
+	dir := t.TempDir()
+	feed := filepath.Join(t.TempDir(), "feed.log")
+	if err := os.WriteFile(feed, logBytes[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wcfg := WindowConfig{Days: 2, ListSize: 29, Refresh: simclock.Hour}
+	base := Config{
+		Window: wcfg, TailLog: feed,
+		StateDir: dir, CheckpointEvery: -1,
+	}
+	svc1 := startService(t, base)
+	waitUntil(t, "truncated log drained", func() bool {
+		return svc1.Consumed() == uint64(k) && svc1.TailOffset() == cut
+	})
+	shutdownSvc(t, svc1)
+
+	f, err := os.OpenFile(feed, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(logBytes[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cfg2 := base
+	cfg2.Resume = true
+	svc2 := startService(t, cfg2)
+	if svc2.ResumedFrom() == "" {
+		t.Fatal("resumed tail service loaded no checkpoint")
+	}
+	waitUntil(t, "appended log drained", func() bool {
+		return svc2.Consumed() == uint64(total) && svc2.TailOffset() == int64(len(logBytes))
+	})
+	if got := svc2.ReplaySkipped(); got != 0 {
+		t.Errorf("offset resume replay-skipped %d entries; it should re-read nothing", got)
+	}
+	shutdownSvc(t, svc2)
+	gotDets, gotSamples := finalState(svc2)
+
+	// Uninterrupted reference: one service tails the complete log.
+	ref := startService(t, Config{Window: wcfg, TailLog: full})
+	waitUntil(t, "reference log drained", func() bool { return ref.Consumed() == uint64(total) })
+	shutdownSvc(t, ref)
+	wantDets, wantSamples := finalState(ref)
+
+	if gotSamples != wantSamples {
+		t.Errorf("samples across the tail resume: %d, uninterrupted %d", gotSamples, wantSamples)
+	}
+	if !reflect.DeepEqual(gotDets, wantDets) {
+		t.Errorf("detections: resumed %+v, uninterrupted %+v", gotDets, wantDets)
+	}
+}

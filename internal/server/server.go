@@ -11,19 +11,23 @@
 // this package adds what a daemon needs on top — per-source
 // sequence/drop accounting (sources.go), the sliding window
 // (window.go), stage timings (stages.go), datagram replay over UDP
-// (replay.go), and the Service that wires a UDP reader, a consumer,
-// and an HTTP control surface together (this file, http.go).
+// (replay.go), crash-safe checkpoint/resume (checkpoint.go), tiered
+// overload response (health.go), tail-log ingest (tail.go), and the
+// Service that wires a UDP reader, a consumer, and an HTTP control
+// surface together (this file, http.go).
 //
-// Concurrency model: one reader goroutine owns the UDP socket, parses
-// each datagram, accounts it to its (agent, sub-agent) source row, and
-// enqueues it on a single bounded queue shared by all sources; one
-// consumer goroutine drains the queue into the window. Backpressure is
-// per source: each source has a pending-datagram meter, and when a
-// source exceeds its queue share (or the shared queue is full) the
-// reader drops that source's datagram and counts it — a stalled or
-// flooding collector sheds only its own traffic and can never wedge
-// ingest for its neighbours. HTTP handlers take read snapshots under
-// the same locks, so scrapes never block the hot path for long.
+// Concurrency model: one producer goroutine owns ingest — reading the
+// UDP socket (or tailing a datagram log), parsing, accounting each
+// datagram to its (agent, sub-agent) source row, and enqueuing on a
+// single bounded queue — and one consumer goroutine drains the queue
+// into the window. Backpressure is tiered: per source first (a stalled
+// or flooding collector sheds only its own traffic), then global
+// sampling-down and detection-only shedding when the shared queue
+// fills (health.go). The producer survives transient socket errors
+// with capped backoff and rebinds a dead socket; a consumer panic
+// quarantines the offending datagram to a poison file instead of
+// killing the drain. HTTP handlers take read snapshots under the same
+// locks, so scrapes never block the hot path for long.
 package server
 
 import (
@@ -32,6 +36,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -70,6 +76,32 @@ type Config struct {
 	// ReadBuffer is the requested kernel receive buffer size in bytes
 	// (default 1 MiB; best-effort).
 	ReadBuffer int
+
+	// StateDir, when set, enables crash-safe state: periodic checkpoints
+	// (and a final one at shutdown) are written there atomically, and
+	// consumer-panic datagrams are quarantined there as poison files.
+	StateDir string
+	// CheckpointEvery is the periodic checkpoint cadence (default 1m;
+	// < 0 disables the timer, keeping only the shutdown checkpoint).
+	CheckpointEvery time.Duration
+	// CheckpointRetain is how many checkpoint files to keep (default 3).
+	CheckpointRetain int
+	// Resume, with StateDir set, loads the newest valid checkpoint at
+	// Start and continues mid-stream: the window picks up exactly where
+	// it stopped, and re-sent datagrams at or below each source's
+	// checkpointed cursor are skipped, not double-counted.
+	Resume bool
+
+	// TailLog, when set, replaces UDP ingest with tailing the given
+	// sFlow datagram log (the LogWriter format): entries are consumed as
+	// they are appended, rotation and truncation are survived, and the
+	// consumed byte offset rides in checkpoints so Resume continues from
+	// the right entry.
+	TailLog string
+
+	// ListenPacket, when set, binds the ingest socket (initially and on
+	// rebind) instead of net.ListenUDP — the fault-injection seam.
+	ListenPacket func(addr string) (net.PacketConn, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -91,14 +123,31 @@ func (c Config) withDefaults() Config {
 	if c.ReadBuffer <= 0 {
 		c.ReadBuffer = 1 << 20
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = time.Minute
+	}
+	if c.CheckpointRetain <= 0 {
+		c.CheckpointRetain = 3
+	}
 	return c
 }
 
-// item is one parsed datagram in flight from reader to consumer.
+// Ingest retry/backoff bounds (transient read errors, socket rebinds,
+// tail-log polls).
+const (
+	readBackoffMin = 50 * time.Millisecond
+	readBackoffMax = 5 * time.Second
+	tailBackoffMin = 20 * time.Millisecond
+	tailBackoffMax = 500 * time.Millisecond
+)
+
+// item is one parsed datagram in flight from producer to consumer. off
+// is the tail-log offset just past its entry (0 on the UDP path).
 type item struct {
 	src *sourceState
 	dg  *sflow.Datagram
 	at  simclock.Time
+	off int64
 }
 
 // Service is the running daemon. Construct with NewService, start with
@@ -108,33 +157,68 @@ type Service struct {
 	stages *Stages
 	reg    *metrics.Registry
 
-	// mu serializes window access (consumer vs HTTP snapshots).
-	mu  sync.Mutex
-	win *Window
+	// mu serializes window access (consumer vs HTTP snapshots vs
+	// checkpointer); it also guards the consumer-side resume cursors
+	// (sourceState.cursor, tailOffConsumed) so checkpoints are exact
+	// (window, cursor) pairs.
+	mu              sync.Mutex
+	win             *Window
+	tailOffConsumed int64
 
-	// smu guards the source registry; row fields other than pending are
-	// written only by the reader under it.
+	// smu guards the source registry; row fields other than pending and
+	// cursor are written only by the producer under it.
 	smu     sync.Mutex
 	sources map[sourceKey]*sourceState
 
 	queue chan item
 
-	conn    *net.UDPConn
+	// cmu guards conn, which the producer may swap on rebind.
+	cmu  sync.Mutex
+	conn net.PacketConn
+
 	httpLn  net.Listener
 	httpSrv *http.Server
 
 	readerDone   chan struct{}
 	consumerDone chan struct{}
+	ckptStop     chan struct{}
+	ckptDone     chan struct{}
 	started      bool
+	closing      atomic.Bool
+	shutdownOnce sync.Once
+	shutdownErr  error
+
+	health health
+
+	// Checkpoint/resume state: write sequence, resume source, tail
+	// resume offset (set by decodeCheckpoint before Start).
+	ckptSeq      uint64
+	resumedFrom  string
+	tailResumeAt int64
+
+	// sampleTick drives tier-2 1-in-2 sampling; producer-owned.
+	sampleTick uint64
 
 	// gate, when non-nil, stalls the consumer until it is closed —
 	// a test hook simulating a consumer that cannot keep up.
 	gate chan struct{}
+	// faultPanic, when non-nil, panics the consumer on matching
+	// datagrams — the test hook for the panic-isolation path.
+	faultPanic func(*sflow.Datagram) bool
 
-	received    atomic.Uint64 // datagrams read off the socket
-	parseErrors atomic.Uint64
-	consumed    atomic.Uint64 // datagrams drained into the window
-	queueDrops  atomic.Uint64 // total, across sources
+	received      atomic.Uint64 // datagrams read off the socket / log
+	parseErrors   atomic.Uint64
+	consumed      atomic.Uint64 // datagrams drained into the window
+	queueDrops    atomic.Uint64 // per-source backpressure, across sources
+	replaySkipped atomic.Uint64 // resume-barrier skips, across sources
+	readRetries   atomic.Uint64 // transient ReadFrom errors retried
+	rebinds       atomic.Uint64 // successful socket rebinds
+	panics        atomic.Uint64 // consumer panics isolated
+	poisoned      atomic.Uint64 // datagrams quarantined to poison files
+	ckpts         atomic.Uint64 // checkpoints written
+	ckptErrors    atomic.Uint64 // checkpoint attempts failed
+	ckptBytes     atomic.Uint64 // size of the newest checkpoint
+	tailReopens   atomic.Uint64 // tail-log truncation/rotation reopens
 }
 
 // NewService builds an unstarted service.
@@ -146,6 +230,8 @@ func NewService(cfg Config) *Service {
 		sources:      make(map[sourceKey]*sourceState),
 		readerDone:   make(chan struct{}),
 		consumerDone: make(chan struct{}),
+		ckptStop:     make(chan struct{}),
+		ckptDone:     make(chan struct{}),
 	}
 	s.win = NewWindow(s.cfg.Window, s.stages)
 	s.queue = make(chan item, s.cfg.QueueLen)
@@ -153,77 +239,201 @@ func NewService(cfg Config) *Service {
 	return s
 }
 
-// Start binds the UDP and HTTP listeners and launches the reader,
-// consumer, and HTTP serving goroutines.
+// listenPacket binds the ingest socket at addr, through the configured
+// seam when one is set.
+func (s *Service) listenPacket(addr string) (net.PacketConn, error) {
+	if s.cfg.ListenPacket != nil {
+		return s.cfg.ListenPacket(addr)
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: resolving UDP addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetReadBuffer(s.cfg.ReadBuffer) // best-effort
+	return conn, nil
+}
+
+// Start binds the listeners, restores a checkpoint when resuming, and
+// launches the producer, consumer, checkpointer, and HTTP goroutines.
 func (s *Service) Start() error {
 	if s.started {
 		return errors.New("server: already started")
 	}
-	uaddr, err := net.ResolveUDPAddr("udp", s.cfg.UDPAddr)
-	if err != nil {
-		return fmt.Errorf("server: resolving UDP addr: %w", err)
+	if s.cfg.StateDir != "" {
+		if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+			return fmt.Errorf("server: creating state dir: %w", err)
+		}
+		if s.cfg.Resume {
+			if err := s.resume(); err != nil {
+				return err
+			}
+		} else {
+			s.ckptSeq = nextCkptSeq(listCheckpoints(s.cfg.StateDir))
+		}
 	}
-	conn, err := net.ListenUDP("udp", uaddr)
-	if err != nil {
-		return fmt.Errorf("server: listening UDP: %w", err)
+	if s.cfg.TailLog == "" {
+		conn, err := s.listenPacket(s.cfg.UDPAddr)
+		if err != nil {
+			return fmt.Errorf("server: listening UDP: %w", err)
+		}
+		s.conn = conn
 	}
-	_ = conn.SetReadBuffer(s.cfg.ReadBuffer) // best-effort
 	ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
 	if err != nil {
-		conn.Close()
+		if s.conn != nil {
+			s.conn.Close()
+		}
 		return fmt.Errorf("server: listening HTTP: %w", err)
 	}
-	s.conn = conn
 	s.httpLn = ln
 	s.httpSrv = &http.Server{Handler: s.handler()}
 	s.started = true
-	go s.readLoop()
+	if s.cfg.TailLog == "" {
+		go s.readLoop()
+	} else {
+		go s.tailLoop()
+	}
 	go s.consumeLoop()
 	go s.httpSrv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	if s.cfg.StateDir != "" && s.cfg.CheckpointEvery > 0 {
+		go s.checkpointLoop()
+	} else {
+		close(s.ckptDone)
+	}
 	return nil
 }
 
-// Addr returns the bound UDP listen address (after Start).
-func (s *Service) Addr() net.Addr { return s.conn.LocalAddr() }
+// Addr returns the bound UDP listen address (after Start; nil in
+// tail-log mode).
+func (s *Service) Addr() net.Addr {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if s.conn == nil {
+		return nil
+	}
+	return s.conn.LocalAddr()
+}
 
 // HTTPAddr returns the bound HTTP listen address (after Start).
 func (s *Service) HTTPAddr() net.Addr { return s.httpLn.Addr() }
 
 // Shutdown stops the service in dependency order: close the socket so
-// the reader exits and closes the queue, wait for the consumer to
-// drain everything already accepted, finalize the window (detecting
-// over the day in progress), then stop the HTTP server — so a final
-// scrape after the data path stops still sees the complete state.
+// the producer exits and closes the queue, wait for the consumer to
+// drain everything already accepted, write the final checkpoint (the
+// drained, pre-finalize state a resumed service continues from),
+// finalize the window (detecting over the day in progress), then stop
+// the HTTP server — so a final scrape after the data path stops still
+// sees the complete state.
 func (s *Service) Shutdown(ctx context.Context) error {
 	if !s.started {
 		return nil
 	}
-	s.conn.Close()
-	<-s.readerDone
-	<-s.consumerDone
-	s.mu.Lock()
-	s.win.Close()
-	s.mu.Unlock()
-	return s.httpSrv.Shutdown(ctx)
+	s.shutdownOnce.Do(func() {
+		s.closing.Store(true)
+		s.cmu.Lock()
+		if s.conn != nil {
+			s.conn.Close()
+		}
+		s.cmu.Unlock()
+		<-s.readerDone
+		<-s.consumerDone
+		close(s.ckptStop)
+		<-s.ckptDone
+		var ckptErr error
+		if s.cfg.StateDir != "" {
+			_, ckptErr = s.Checkpoint()
+		}
+		s.mu.Lock()
+		s.win.Close()
+		s.mu.Unlock()
+		err := s.httpSrv.Shutdown(ctx)
+		if ckptErr != nil {
+			err = ckptErr
+		}
+		s.shutdownErr = err
+	})
+	return s.shutdownErr
+}
+
+// currentConn fetches the producer's socket (it may have been swapped
+// by a rebind).
+func (s *Service) currentConn() net.PacketConn {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return s.conn
+}
+
+// rebind replaces a dead socket with a fresh one bound to the same
+// address, retrying with capped backoff until shutdown. Reports
+// whether a new socket is in place.
+func (s *Service) rebind() bool {
+	old := s.currentConn()
+	if old == nil {
+		return false
+	}
+	addr := old.LocalAddr().String()
+	backoff := readBackoffMin
+	for !s.closing.Load() {
+		conn, err := s.listenPacket(addr)
+		if err == nil {
+			s.cmu.Lock()
+			if s.closing.Load() {
+				s.cmu.Unlock()
+				conn.Close()
+				return false
+			}
+			s.conn = conn
+			s.cmu.Unlock()
+			s.rebinds.Add(1)
+			return true
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > readBackoffMax {
+			backoff = readBackoffMax
+		}
+	}
+	return false
 }
 
 // readLoop owns the socket: read, parse, account, enqueue-or-shed.
+// Transient read errors are retried with capped backoff; a closed
+// socket (when not shutting down) is rebound.
 func (s *Service) readLoop() {
 	defer close(s.readerDone)
 	defer close(s.queue)
 	buf := make([]byte, 1<<16)
+	backoff := readBackoffMin
 	for {
-		n, _, err := s.conn.ReadFromUDP(buf)
+		conn := s.currentConn()
+		n, _, err := conn.ReadFrom(buf)
 		if err != nil {
-			// Closed during Shutdown (or a fatal socket error — either
-			// way the data path winds down).
-			return
+			if s.closing.Load() {
+				return
+			}
+			if errors.Is(err, net.ErrClosed) {
+				// The socket died under us (not Shutdown): rebind it.
+				if !s.rebind() {
+					return
+				}
+				continue
+			}
+			s.readRetries.Add(1)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > readBackoffMax {
+				backoff = readBackoffMax
+			}
+			continue
 		}
+		backoff = readBackoffMin
 		s.received.Add(1)
 		stop := s.stages.Track("parse")
-		dg, err := sflow.ParseDatagram(buf[:n])
+		dg, perr := sflow.ParseDatagram(buf[:n])
 		stop()
-		if err != nil {
+		if perr != nil {
 			s.parseErrors.Add(1)
 			continue
 		}
@@ -233,34 +443,112 @@ func (s *Service) readLoop() {
 		} else {
 			at = simclock.Time(time.Now().Unix())
 		}
-		key := sourceKey{agent: dg.Agent, subAgent: dg.SubAgent}
-		s.smu.Lock()
-		src := s.sources[key]
-		if src == nil {
-			src = &sourceState{key: key}
-			src.stats.Agent = fmt.Sprintf("%d.%d.%d.%d", key.agent[0], key.agent[1], key.agent[2], key.agent[3])
-			src.stats.SubAgent = key.subAgent
-			s.sources[key] = src
-		}
-		src.account(dg, at)
-		shed := src.pending.Load() >= int64(s.cfg.PerSourceQueue)
-		if !shed {
-			select {
-			case s.queue <- item{src: src, dg: dg, at: at}:
-				src.pending.Add(1)
-			default:
-				shed = true // shared queue full
-			}
-		}
-		if shed {
-			src.stats.QueueDrops++
-			s.queueDrops.Add(1)
-		}
-		s.smu.Unlock()
+		s.enqueueParsed(dg, at)
 	}
 }
 
-// consumeLoop drains the queue into the window.
+// accountLocked runs the resume barrier and per-source accounting for
+// one parsed datagram, creating the source row on first sight. Returns
+// nil when the replay barrier skipped the datagram. Producer-goroutine
+// only; caller holds smu.
+func (s *Service) accountLocked(dg *sflow.Datagram, at simclock.Time) *sourceState {
+	key := sourceKey{agent: dg.Agent, subAgent: dg.SubAgent}
+	src := s.sources[key]
+	if src == nil {
+		src = &sourceState{key: key}
+		src.stats.Agent = fmt.Sprintf("%d.%d.%d.%d", key.agent[0], key.agent[1], key.agent[2], key.agent[3])
+		src.stats.SubAgent = key.subAgent
+		s.sources[key] = src
+	}
+	if src.resuming {
+		if dg.Seq <= src.resumeSeq && dg.Seq >= src.stats.FirstSeq {
+			// Already inside the restored window: consuming it again would
+			// double-count, so it is skipped before any accounting.
+			src.stats.ReplaySkipped++
+			s.replaySkipped.Add(1)
+			return nil
+		}
+		src.resuming = false
+	}
+	src.account(dg, at)
+	return src
+}
+
+// enqueueParsed accounts one parsed UDP datagram to its source and
+// either enqueues it for the consumer or sheds it: the resume barrier
+// first (already-consumed replays), then the global overload tiers,
+// then per-source backpressure. Producer-goroutine only.
+func (s *Service) enqueueParsed(dg *sflow.Datagram, at simclock.Time) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	src := s.accountLocked(dg, at)
+	if src == nil {
+		return
+	}
+
+	// Global overload tiers (the per-source tier is below, unchanged):
+	// above ⅞ full shed everything, above ¾ keep 1-in-2.
+	depth, capacity := len(s.queue), s.cfg.QueueLen
+	if depth*shedAllDen >= capacity*shedAllNum {
+		s.health.noteOverload()
+		s.health.shedAll.Add(1)
+		return
+	}
+	if depth*sampleDownDen >= capacity*sampleDownNum {
+		s.health.noteOverload()
+		if s.sampleTick++; s.sampleTick%2 == 1 {
+			s.health.sampledOut.Add(1)
+			return
+		}
+	}
+	s.health.noteDepth(depth, capacity)
+
+	shed := src.pending.Load() >= int64(s.cfg.PerSourceQueue)
+	if !shed {
+		select {
+		case s.queue <- item{src: src, dg: dg, at: at}:
+			src.pending.Add(1)
+		default:
+			shed = true // shared queue full
+		}
+	}
+	if shed {
+		src.stats.QueueDrops++
+		s.queueDrops.Add(1)
+	}
+}
+
+// enqueueTail accounts one tail-log entry and enqueues it, blocking
+// while the queue is full. Tail ingest never sheds: the log is durable
+// on disk, so backpressure is flow control — the tailer pauses — not
+// loss, and the overload tiers stay out of it. Reports false when
+// shutdown interrupted the wait; the entry was not enqueued and its
+// offset never advanced, so a resume re-reads it.
+func (s *Service) enqueueTail(dg *sflow.Datagram, at simclock.Time, off int64) bool {
+	s.smu.Lock()
+	src := s.accountLocked(dg, at)
+	s.smu.Unlock()
+	if src == nil {
+		return true
+	}
+	it := item{src: src, dg: dg, at: at, off: off}
+	for {
+		select {
+		case s.queue <- it:
+			src.pending.Add(1)
+			return true
+		default:
+		}
+		if s.closing.Load() {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// consumeLoop drains the queue into the window. A panic while
+// processing one datagram is isolated: the datagram is quarantined to
+// a poison file and the loop moves on.
 func (s *Service) consumeLoop() {
 	defer close(s.consumerDone)
 	for it := range s.queue {
@@ -268,31 +556,73 @@ func (s *Service) consumeLoop() {
 			<-s.gate
 		}
 		it.src.pending.Add(-1)
-		stop := s.stages.Track("observe")
-		s.mu.Lock()
-		cp := s.win.Capture()
-		for i := range it.dg.Samples {
-			fs := &it.dg.Samples[i]
-			smp, ok := cp.Process(sflow.Record{
-				Time:     it.at,
-				Frame:    fs.Header,
-				FrameLen: int(fs.FrameLen),
-				Seq:      uint64(fs.Seq),
-			})
-			if !ok {
-				continue
-			}
-			if smp.PeerAS == 0 && fs.Input != 0 {
-				// The replay convention: ingress member ASN rides the
-				// Input interface field when no topology is wired up.
-				smp.PeerAS = fs.Input
-			}
-			s.win.Observe(&smp)
-		}
-		s.mu.Unlock()
-		stop()
+		s.consumeOne(it)
 		s.consumed.Add(1)
+		s.health.noteDepth(len(s.queue), s.cfg.QueueLen)
 	}
+}
+
+// consumeOne observes one datagram's samples into the window and
+// advances the source's consume cursor. Panics unwind through the
+// deferred recover into quarantine; the lock and stage timer unwind
+// with them.
+func (s *Service) consumeOne(it item) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.quarantine(it.dg, r)
+		}
+	}()
+	stop := s.stages.Track("observe")
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.faultPanic != nil && s.faultPanic(it.dg) {
+		panic(fmt.Sprintf("injected consumer fault on seq %d", it.dg.Seq))
+	}
+	cp := s.win.Capture()
+	for i := range it.dg.Samples {
+		fs := &it.dg.Samples[i]
+		smp, ok := cp.Process(sflow.Record{
+			Time:     it.at,
+			Frame:    fs.Header,
+			FrameLen: int(fs.FrameLen),
+			Seq:      uint64(fs.Seq),
+		})
+		if !ok {
+			continue
+		}
+		if smp.PeerAS == 0 && fs.Input != 0 {
+			// The replay convention: ingress member ASN rides the
+			// Input interface field when no topology is wired up.
+			smp.PeerAS = fs.Input
+		}
+		s.win.Observe(&smp)
+	}
+	// Cursor advance is the last locked step: a panicking datagram never
+	// moves the cursor, so after a resume it is re-sent, re-quarantined,
+	// and still never half-counted.
+	if it.dg.Seq > it.src.cursor {
+		it.src.cursor = it.dg.Seq
+	}
+	if it.off > s.tailOffConsumed {
+		s.tailOffConsumed = it.off
+	}
+}
+
+// quarantine writes the datagram that broke the consumer to a poison
+// file for offline triage. Without a StateDir the event is only
+// counted.
+func (s *Service) quarantine(dg *sflow.Datagram, cause any) {
+	if s.cfg.StateDir == "" {
+		return
+	}
+	n := s.poisoned.Add(1)
+	body := sflow.EncodeDatagram(dg)
+	meta := fmt.Sprintf("# consumer panic: %v\n# agent %d.%d.%d.%d/%d seq %d\n",
+		cause, dg.Agent[0], dg.Agent[1], dg.Agent[2], dg.Agent[3], dg.SubAgent, dg.Seq)
+	path := filepath.Join(s.cfg.StateDir, fmt.Sprintf("poison-%06d.sflow", n))
+	_ = atomicWriteFile(path, append([]byte(meta), body...))
 }
 
 // Received reports datagrams read off the socket so far.
@@ -303,9 +633,22 @@ func (s *Service) Received() uint64 { return s.received.Load() }
 // every accepted sample is in the window.
 func (s *Service) Consumed() uint64 { return s.consumed.Load() }
 
-// QueueDrops reports datagrams shed by backpressure across all
-// sources.
+// QueueDrops reports datagrams shed by per-source backpressure across
+// all sources.
 func (s *Service) QueueDrops() uint64 { return s.queueDrops.Load() }
+
+// ReplaySkipped reports datagrams skipped by the post-resume replay
+// barrier across all sources.
+func (s *Service) ReplaySkipped() uint64 { return s.replaySkipped.Load() }
+
+// SampledOut reports datagrams shed by tier-2 global sampling-down.
+func (s *Service) SampledOut() uint64 { return s.health.sampledOut.Load() }
+
+// ShedAll reports datagrams shed by tier-3 detection-only mode.
+func (s *Service) ShedAll() uint64 { return s.health.shedAll.Load() }
+
+// Panics reports consumer panics isolated so far.
+func (s *Service) Panics() uint64 { return s.panics.Load() }
 
 // WindowSnapshot returns the window's observable state.
 func (s *Service) WindowSnapshot() WindowStats {

@@ -58,6 +58,12 @@ type SourceStats struct {
 	// flooding collector sheds its own datagrams, never its neighbours').
 	QueueDrops uint64 `json:"queueDrops"`
 
+	// ReplaySkipped counts datagrams skipped after a resume because
+	// their sequence number was at or below the checkpointed cursor —
+	// already in the restored window, so consuming them again would
+	// double-count.
+	ReplaySkipped uint64 `json:"replaySkipped"`
+
 	// LastArrival is the arrival timestamp of the newest datagram.
 	LastArrival simclock.Time `json:"lastArrival"`
 }
@@ -72,6 +78,20 @@ type sourceState struct {
 	// pending is the number of this source's datagrams sitting in the
 	// ingest queue — the per-source backpressure meter.
 	pending atomic.Int64
+
+	// cursor is the highest datagram sequence number the consumer has
+	// fully drained into the window. Written by the consumer under
+	// Service.mu, read by the checkpointer under the same lock — so a
+	// checkpoint's cursors are exactly consistent with its window state.
+	cursor uint32
+
+	// resuming/resumeSeq implement the post-restore replay barrier: while
+	// resuming, datagrams with Seq <= resumeSeq are already inside the
+	// restored window and are skipped (counted in ReplaySkipped). The
+	// first newer datagram lowers the barrier; later low sequence numbers
+	// are genuine reordering again. Reader-goroutine state.
+	resuming  bool
+	resumeSeq uint32
 }
 
 // account folds one arrived datagram into the row. Called by the

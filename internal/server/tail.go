@@ -1,0 +1,88 @@
+// Tail-log ingest: the service's second intake. Instead of a UDP
+// socket, the producer goroutine follows an sFlow datagram log through
+// sflow.Tailer — surviving rotation and truncation — and feeds entries
+// into the same accounting and window path the UDP reader uses. Unlike
+// UDP, tail ingest never sheds: the log is durable, so a full queue
+// pauses the tailer instead of dropping data (enqueueTail). Each
+// queued entry carries its byte offset; the consumer
+// records the offset of the newest drained entry under the window
+// lock, so checkpoints carry an exact resume cursor and a resumed
+// service re-reads nothing it already consumed.
+package server
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+)
+
+// tailLoop is the producer in tail-log mode. End of input backs off
+// with a capped poll interval (growth, rotation, and truncation are
+// the Tailer's job to notice); a corrupt datagram body costs one parse
+// error and one entry; corrupt framing ends ingest — the log is not a
+// stream anymore — while the window and control surface keep serving.
+func (s *Service) tailLoop() {
+	defer close(s.readerDone)
+	defer close(s.queue)
+
+	var t *sflow.Tailer
+	backoff := tailBackoffMin
+	for !s.closing.Load() {
+		var err error
+		if t, err = sflow.NewTailer(s.cfg.TailLog, s.tailResumeAt); err == nil {
+			break
+		}
+		// Not there yet (writer starts later) or unreadable: retry.
+		s.readRetries.Add(1)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > tailBackoffMax {
+			backoff = tailBackoffMax
+		}
+	}
+	if t == nil {
+		return
+	}
+	defer t.Close()
+
+	backoff = tailBackoffMin
+	for !s.closing.Load() {
+		at, dg, err := t.NextEntry()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > tailBackoffMax {
+					backoff = tailBackoffMax
+				}
+				continue
+			}
+			s.parseErrors.Add(1)
+			if errors.Is(err, sflow.ErrLog) {
+				return // framing gone: no resync point exists
+			}
+			continue // one bad datagram body; the tailer resynced
+		}
+		backoff = tailBackoffMin
+		s.tailReopens.Store(t.Reopens())
+		s.received.Add(1)
+		if s.cfg.TimeFromUptime {
+			at = simclock.Time(dg.Uptime)
+		}
+		if !s.enqueueTail(dg, at, t.Offset()) {
+			return
+		}
+	}
+}
+
+// TailOffset reports the byte offset of the newest tail-log entry
+// drained into the window (0 when not tailing).
+func (s *Service) TailOffset() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tailOffConsumed
+}
+
+// TailReopens reports tail-log reopens after truncation or rotation.
+func (s *Service) TailReopens() uint64 { return s.tailReopens.Load() }

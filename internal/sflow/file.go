@@ -241,6 +241,11 @@ func (lr *LogReader) readEntry() error {
 	t := simclock.Time(int64(binary.LittleEndian.Uint64(lr.entry[:8])))
 	dg, err := ParseDatagram(lr.entry[12 : 12+ln])
 	if err != nil {
+		// The framing was intact, only the datagram body is bad:
+		// consume the entry so the next call resyncs at the following
+		// entry boundary instead of re-parsing the same bytes forever —
+		// one corrupt datagram costs one error, not the whole tail.
+		lr.have = 0
 		return err
 	}
 	lr.dg, lr.dgT = dg, t

@@ -22,13 +22,11 @@
 package source
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"net/netip"
 
+	"dnsamp/internal/binenc"
 	"dnsamp/internal/dnswire"
 	"dnsamp/internal/ecosystem"
 	"dnsamp/internal/ixp"
@@ -55,93 +53,89 @@ func (r *Replay) WriteSnapshot(w io.Writer) error {
 			return fmt.Errorf("source: day %s batch uses a foreign interning table; snapshot would dangle its name IDs", day.Date())
 		}
 	}
-	bw := bufio.NewWriterSize(w, 1<<16)
-	e := &snapEncoder{w: bw}
-	e.raw(snapMagic[:])
-	e.u32(snapVersion)
+	e := binenc.NewEncoder(w)
+	e.Raw(snapMagic[:])
+	e.U32(snapVersion)
 
 	strs := r.tab.Names()
-	e.u32(uint32(len(strs)))
+	e.U32(uint32(len(strs)))
 	for _, s := range strs {
-		e.str(s)
+		e.Str(s)
 	}
 
-	e.u32(uint32(len(r.days)))
+	e.U32(uint32(len(r.days)))
 	for _, day := range r.days {
 		rd := r.byDay[day]
-		e.i64(int64(day))
+		e.I64(int64(day))
 		if b := rd.batch; b == nil {
-			e.u8(0)
+			e.U8(0)
 		} else {
-			e.u8(1)
-			e.i64(int64(b.Frames))
-			e.i64(int64(b.NonUDP))
-			e.i64(int64(b.NonDNS))
-			e.i64(int64(b.Malformed))
-			e.u32(uint32(b.N))
+			e.U8(1)
+			e.I64(int64(b.Frames))
+			e.I64(int64(b.NonUDP))
+			e.I64(int64(b.NonDNS))
+			e.I64(int64(b.Malformed))
+			e.U32(uint32(b.N))
 			for i := 0; i < b.N; i++ {
-				e.i64(int64(b.Time[i]))
+				e.I64(int64(b.Time[i]))
 			}
 			for i := 0; i < b.N; i++ {
-				e.raw(b.Src[i][:])
+				e.Raw(b.Src[i][:])
 			}
 			for i := 0; i < b.N; i++ {
-				e.raw(b.Dst[i][:])
+				e.Raw(b.Dst[i][:])
 			}
 			for i := 0; i < b.N; i++ {
-				e.u16(b.SrcPort[i])
+				e.U16(b.SrcPort[i])
 			}
 			for i := 0; i < b.N; i++ {
-				e.u16(b.DstPort[i])
+				e.U16(b.DstPort[i])
 			}
 			for i := 0; i < b.N; i++ {
-				e.u8(b.IPTTL[i])
+				e.U8(b.IPTTL[i])
 			}
 			for i := 0; i < b.N; i++ {
-				e.u16(b.IPID[i])
+				e.U16(b.IPID[i])
 			}
 			for i := 0; i < b.N; i++ {
-				e.bool(b.Resp[i])
+				e.Bool(b.Resp[i])
 			}
 			for i := 0; i < b.N; i++ {
-				e.u32(b.Name[i])
+				e.U32(b.Name[i])
 			}
 			for i := 0; i < b.N; i++ {
-				e.u16(uint16(b.QType[i]))
+				e.U16(uint16(b.QType[i]))
 			}
 			for i := 0; i < b.N; i++ {
-				e.u16(b.TXID[i])
+				e.U16(b.TXID[i])
 			}
 			for i := 0; i < b.N; i++ {
-				e.u32(uint32(b.MsgSize[i]))
+				e.U32(uint32(b.MsgSize[i]))
 			}
 			for i := 0; i < b.N; i++ {
-				e.u16(b.ANCount[i])
+				e.U16(b.ANCount[i])
 			}
 			for i := 0; i < b.N; i++ {
-				e.u16(b.VisibleNS[i])
+				e.U16(b.VisibleNS[i])
 			}
 			for i := 0; i < b.N; i++ {
-				e.u32(b.Ingress[i])
+				e.U32(b.Ingress[i])
 			}
 		}
-		e.u32(uint32(len(rd.sensors)))
+		e.U32(uint32(len(rd.sensors)))
 		for _, sf := range rd.sensors {
-			e.i64(int64(sf.Sensor))
-			e.addr(sf.Victim)
-			e.i64(int64(sf.Start))
-			e.i64(int64(sf.Duration))
-			e.i64(int64(sf.Count))
-			e.str(sf.QName)
-			e.u16(uint16(sf.QType))
-			e.u16(sf.TXID)
-			e.i64(int64(sf.EventID))
+			e.I64(int64(sf.Sensor))
+			e.Addr(sf.Victim)
+			e.I64(int64(sf.Start))
+			e.I64(int64(sf.Duration))
+			e.I64(int64(sf.Count))
+			e.Str(sf.QName)
+			e.U16(uint16(sf.QType))
+			e.U16(sf.TXID)
+			e.I64(int64(sf.EventID))
 		}
 	}
-	if e.err != nil {
-		return e.err
-	}
-	return bw.Flush()
+	return e.Flush()
 }
 
 // OpenSnapshot reads a snapshot produced by WriteSnapshot and rebuilds
@@ -154,131 +148,131 @@ func OpenSnapshot(rd io.Reader) (*Replay, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
 	}
-	d := &snapDecoder{b: raw}
+	d := binenc.NewDecoder(raw, ErrSnapshot)
 	var magic [8]byte
-	copy(magic[:], d.raw(8))
-	if d.err == nil && magic != snapMagic {
+	copy(magic[:], d.Raw(8))
+	if d.Err() == nil && magic != snapMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrSnapshot)
 	}
-	if v := d.u32(); d.err == nil && v != snapVersion {
+	if v := d.U32(); d.Err() == nil && v != snapVersion {
 		return nil, fmt.Errorf("%w: version %d (this build speaks %d)", ErrSnapshot, v, snapVersion)
 	}
 
-	nNames := d.count(4) // a name costs at least its u32 length prefix
+	nNames := d.Count(4) // a name costs at least its u32 length prefix
 	tab := names.NewTable()
 	tab.Reserve(nNames)
-	for i := 0; i < nNames && d.err == nil; i++ {
-		if id := tab.Intern(d.str()); int(id) != i {
+	for i := 0; i < nNames && d.Err() == nil; i++ {
+		if id := tab.Intern(d.Str()); int(id) != i {
 			return nil, fmt.Errorf("%w: duplicate table name at ID %d", ErrSnapshot, i)
 		}
 	}
 
 	r := NewReplay(tab)
-	nDays := d.count(13)
-	for i := 0; i < nDays && d.err == nil; i++ {
-		day := simclock.Time(d.i64())
+	nDays := d.Count(13)
+	for i := 0; i < nDays && d.Err() == nil; i++ {
+		day := simclock.Time(d.I64())
 		var b *ixp.SampleBatch
-		if d.u8() == 1 {
+		if d.U8() == 1 {
 			b = &ixp.SampleBatch{Table: tab}
-			b.Frames = int(d.i64())
-			b.NonUDP = int(d.i64())
-			b.NonDNS = int(d.i64())
-			b.Malformed = int(d.i64())
+			b.Frames = int(d.I64())
+			b.NonUDP = int(d.I64())
+			b.NonDNS = int(d.I64())
+			b.Malformed = int(d.I64())
 			// A record costs 44 bytes across all columns (8 time, 4+4
 			// addresses, 2+2 ports, 1 TTL, 2 IPID, 1 resp, 4 name,
 			// 2 qtype, 2 txid, 4 size, 2 ancount, 2 visibleNS,
 			// 4 ingress).
-			n := d.countAt(int(d.u32()), 44)
+			n := d.CountAt(int(d.U32()), 44)
 			b.N = n
-			if d.err != nil {
+			if d.Err() != nil {
 				break
 			}
 			b.Time = make([]simclock.Time, n)
 			for j := range b.Time {
-				b.Time[j] = simclock.Time(d.i64())
+				b.Time[j] = simclock.Time(d.I64())
 			}
 			b.Src = make([][4]byte, n)
 			for j := range b.Src {
-				copy(b.Src[j][:], d.raw(4))
+				copy(b.Src[j][:], d.Raw(4))
 			}
 			b.Dst = make([][4]byte, n)
 			for j := range b.Dst {
-				copy(b.Dst[j][:], d.raw(4))
+				copy(b.Dst[j][:], d.Raw(4))
 			}
 			b.SrcPort = make([]uint16, n)
 			for j := range b.SrcPort {
-				b.SrcPort[j] = d.u16()
+				b.SrcPort[j] = d.U16()
 			}
 			b.DstPort = make([]uint16, n)
 			for j := range b.DstPort {
-				b.DstPort[j] = d.u16()
+				b.DstPort[j] = d.U16()
 			}
 			b.IPTTL = make([]uint8, n)
 			for j := range b.IPTTL {
-				b.IPTTL[j] = d.u8()
+				b.IPTTL[j] = d.U8()
 			}
 			b.IPID = make([]uint16, n)
 			for j := range b.IPID {
-				b.IPID[j] = d.u16()
+				b.IPID[j] = d.U16()
 			}
 			b.Resp = make([]bool, n)
 			for j := range b.Resp {
-				b.Resp[j] = d.bool()
+				b.Resp[j] = d.Bool()
 			}
 			b.Name = make([]uint32, n)
 			for j := range b.Name {
-				b.Name[j] = d.u32()
-				if d.err == nil && int(b.Name[j]) >= tab.Len() {
+				b.Name[j] = d.U32()
+				if d.Err() == nil && int(b.Name[j]) >= tab.Len() {
 					return nil, fmt.Errorf("%w: name ID %d outside the %d-entry table", ErrSnapshot, b.Name[j], tab.Len())
 				}
 			}
 			b.QType = make([]dnswire.Type, n)
 			for j := range b.QType {
-				b.QType[j] = dnswire.Type(d.u16())
+				b.QType[j] = dnswire.Type(d.U16())
 			}
 			b.TXID = make([]uint16, n)
 			for j := range b.TXID {
-				b.TXID[j] = d.u16()
+				b.TXID[j] = d.U16()
 			}
 			b.MsgSize = make([]int32, n)
 			for j := range b.MsgSize {
-				b.MsgSize[j] = int32(d.u32())
+				b.MsgSize[j] = int32(d.U32())
 			}
 			b.ANCount = make([]uint16, n)
 			for j := range b.ANCount {
-				b.ANCount[j] = d.u16()
+				b.ANCount[j] = d.U16()
 			}
 			b.VisibleNS = make([]uint16, n)
 			for j := range b.VisibleNS {
-				b.VisibleNS[j] = d.u16()
+				b.VisibleNS[j] = d.U16()
 			}
 			b.Ingress = make([]uint32, n)
 			for j := range b.Ingress {
-				b.Ingress[j] = d.u32()
+				b.Ingress[j] = d.U32()
 			}
 		}
 		// A sensor flow costs at least 49 bytes (8 sensor, 1 addr tag,
 		// 8+8 start/duration, 8 count, 4 qname prefix, 2+2 qtype/txid,
 		// 8 event ID).
-		nSens := d.count(49)
+		nSens := d.Count(49)
 		var sensors []ecosystem.SensorFlow
 		if nSens > 0 {
 			sensors = make([]ecosystem.SensorFlow, 0, nSens)
 		}
-		for j := 0; j < nSens && d.err == nil; j++ {
+		for j := 0; j < nSens && d.Err() == nil; j++ {
 			var sf ecosystem.SensorFlow
-			sf.Sensor = int(d.i64())
-			sf.Victim = d.addr()
-			sf.Start = simclock.Time(d.i64())
-			sf.Duration = simclock.Duration(d.i64())
-			sf.Count = int(d.i64())
-			sf.QName = d.str()
-			sf.QType = dnswire.Type(d.u16())
-			sf.TXID = d.u16()
-			sf.EventID = int(d.i64())
+			sf.Sensor = int(d.I64())
+			sf.Victim = d.Addr()
+			sf.Start = simclock.Time(d.I64())
+			sf.Duration = simclock.Duration(d.I64())
+			sf.Count = int(d.I64())
+			sf.QName = d.Str()
+			sf.QType = dnswire.Type(d.U16())
+			sf.TXID = d.U16()
+			sf.EventID = int(d.I64())
 			sensors = append(sensors, sf)
 		}
-		if d.err != nil {
+		if d.Err() != nil {
 			break
 		}
 		if _, dup := r.byDay[day.StartOfDay()]; dup {
@@ -289,181 +283,11 @@ func OpenSnapshot(rd io.Reader) (*Replay, error) {
 		// later AddFrames may keep accumulating into them.
 		r.byDay[day.StartOfDay()].owned = b != nil
 	}
-	if d.err != nil {
-		return nil, d.err
+	if d.Err() != nil {
+		return nil, d.Err()
 	}
-	if d.off != len(d.b) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshot, len(d.b)-d.off)
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshot, d.Remaining())
 	}
 	return r, nil
-}
-
-// snapEncoder writes fixed-layout little-endian values, latching the
-// first write error.
-type snapEncoder struct {
-	w   *bufio.Writer
-	err error
-	tmp [8]byte
-}
-
-func (e *snapEncoder) raw(b []byte) {
-	if e.err == nil {
-		_, e.err = e.w.Write(b)
-	}
-}
-
-func (e *snapEncoder) u8(v uint8) {
-	if e.err == nil {
-		e.err = e.w.WriteByte(v)
-	}
-}
-
-func (e *snapEncoder) bool(v bool) {
-	if v {
-		e.u8(1)
-	} else {
-		e.u8(0)
-	}
-}
-
-func (e *snapEncoder) u16(v uint16) {
-	binary.LittleEndian.PutUint16(e.tmp[:2], v)
-	e.raw(e.tmp[:2])
-}
-
-func (e *snapEncoder) u32(v uint32) {
-	binary.LittleEndian.PutUint32(e.tmp[:4], v)
-	e.raw(e.tmp[:4])
-}
-
-func (e *snapEncoder) i64(v int64) {
-	binary.LittleEndian.PutUint64(e.tmp[:8], uint64(v))
-	e.raw(e.tmp[:8])
-}
-
-func (e *snapEncoder) str(s string) {
-	e.u32(uint32(len(s)))
-	if e.err == nil {
-		_, e.err = e.w.WriteString(s)
-	}
-}
-
-// addr writes a netip.Addr as a length-prefixed byte form (0 for the
-// zero Addr, 4 for IPv4, 16 for IPv6).
-func (e *snapEncoder) addr(a netip.Addr) {
-	switch {
-	case !a.IsValid():
-		e.u8(0)
-	case a.Is4():
-		b := a.As4()
-		e.u8(4)
-		e.raw(b[:])
-	default:
-		b := a.As16()
-		e.u8(16)
-		e.raw(b[:])
-	}
-}
-
-// snapDecoder reads the same layout back out of one buffer with
-// saturating bounds checks: the first short read poisons the decoder.
-type snapDecoder struct {
-	b   []byte
-	off int
-	err error
-}
-
-func (d *snapDecoder) fail(format string, args ...any) {
-	if d.err == nil {
-		d.err = fmt.Errorf("%w: %s (offset %d)", ErrSnapshot, fmt.Sprintf(format, args...), d.off)
-	}
-}
-
-func (d *snapDecoder) raw(n int) []byte {
-	if d.err != nil {
-		return nil
-	}
-	if n < 0 || d.off+n > len(d.b) || d.off+n < 0 {
-		d.fail("truncated (want %d bytes)", n)
-		return nil
-	}
-	v := d.b[d.off : d.off+n]
-	d.off += n
-	return v
-}
-
-func (d *snapDecoder) u8() uint8 {
-	if v := d.raw(1); v != nil {
-		return v[0]
-	}
-	return 0
-}
-
-func (d *snapDecoder) bool() bool { return d.u8() != 0 }
-
-func (d *snapDecoder) u16() uint16 {
-	if v := d.raw(2); v != nil {
-		return binary.LittleEndian.Uint16(v)
-	}
-	return 0
-}
-
-func (d *snapDecoder) u32() uint32 {
-	if v := d.raw(4); v != nil {
-		return binary.LittleEndian.Uint32(v)
-	}
-	return 0
-}
-
-func (d *snapDecoder) i64() int64 {
-	if v := d.raw(8); v != nil {
-		return int64(binary.LittleEndian.Uint64(v))
-	}
-	return 0
-}
-
-func (d *snapDecoder) str() string {
-	n := int(d.u32())
-	if d.err == nil && n > len(d.b)-d.off {
-		d.fail("%d-byte string exceeds input", n)
-		return ""
-	}
-	return string(d.raw(n))
-}
-
-// count reads a u32 element count and validates it against the bytes
-// remaining at minBytes per element, so corrupt counts fail instead of
-// allocating unbounded memory.
-func (d *snapDecoder) count(minBytes int) int {
-	return d.countAt(int(d.u32()), minBytes)
-}
-
-func (d *snapDecoder) countAt(n, minBytes int) int {
-	if d.err != nil {
-		return 0
-	}
-	if n < 0 || n > (len(d.b)-d.off)/minBytes {
-		d.fail("count %d exceeds remaining input", n)
-		return 0
-	}
-	return n
-}
-
-// addr reads the length-prefixed netip.Addr form.
-func (d *snapDecoder) addr() netip.Addr {
-	switch n := d.u8(); n {
-	case 0:
-		return netip.Addr{}
-	case 4:
-		var b [4]byte
-		copy(b[:], d.raw(4))
-		return netip.AddrFrom4(b)
-	case 16:
-		var b [16]byte
-		copy(b[:], d.raw(16))
-		return netip.AddrFrom16(b)
-	default:
-		d.fail("address length %d", n)
-		return netip.Addr{}
-	}
 }
