@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare fuzz fmt vet daemon-smoke chaos-smoke ci
+.PHONY: all build test race bench bench-baseline bench-compare fuzz fmt vet daemon-smoke chaos-smoke eval-smoke ci
 
 all: build test
 
@@ -54,10 +54,22 @@ daemon-smoke:
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestServiceChaos|TestServiceCrashRecovery|TestTailServiceResume' ./internal/server/ ./internal/faults/
 
+# Eval smoke: the scenario-catalog evaluation at the fixed golden
+# params/seed/grid must reproduce the committed score table byte for
+# byte (internal/eval/testdata/golden_catalog.txt), and the semantic
+# contrast expectations must hold. A detector change that shifts any
+# precision/recall/time-to-detect cell fails the diff; regenerate the
+# golden deliberately with `go test ./internal/eval -run Golden -update`.
+eval-smoke:
+	$(GO) run ./cmd/evalrun -days 6 -scale 0.03 -procedural-names 20000 \
+		-campaign-seed 1 -traffic-seed 11 -seed 42 -out /tmp/eval_head.txt
+	diff -u internal/eval/testdata/golden_catalog.txt /tmp/eval_head.txt
+	$(GO) test -count=1 -run 'TestGoldenExpectations' ./internal/eval/
+
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
 
-ci: build fmt vet test race fuzz bench daemon-smoke chaos-smoke
+ci: build fmt vet test race fuzz bench daemon-smoke chaos-smoke eval-smoke

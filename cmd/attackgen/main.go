@@ -7,11 +7,15 @@
 // -wire-days days of sampled IXP traffic as wire captures — an sFlow v5
 // datagram log and/or a classic pcap file — the inputs dnsampdetect
 // replays (-replay-sflow / -replay-pcap) and ixpmon tails (-sflow).
+// With -scenario NAME the wire export carries a catalog scenario
+// (internal/scenario) overlaid on the attack-free background instead of
+// the campaign's own events; -list-scenarios enumerates the catalog.
 //
 // Usage:
 //
 //	attackgen [-scale 0.1] [-seed 1] [-out events.jsonl] [-summary]
 //	          [-wire-days 3] [-traffic-seed 1] [-sflow-out FILE] [-pcap-out FILE]
+//	          [-scenario pulse-wave] [-scenario-seed 42] [-list-scenarios]
 package main
 
 import (
@@ -20,85 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"slices"
 
 	"dnsamp/internal/ecosystem"
-	"dnsamp/internal/pcap"
-	"dnsamp/internal/sflow"
-	"dnsamp/internal/simclock"
+	"dnsamp/internal/scenario"
 )
-
-// exportWire materializes wire days and writes the selected capture
-// formats.
-func exportWire(c *ecosystem.Campaign, trafficSeed int64, days int, sflowPath, pcapPath string) error {
-	gen := ecosystem.NewGenerator(c, trafficSeed)
-	var lw *sflow.LogWriter
-	var pw *pcap.Writer
-	var closers []func() error
-	if sflowPath != "" {
-		f, err := os.Create(sflowPath)
-		if err != nil {
-			return err
-		}
-		closers = append(closers, f.Close)
-		bw := bufio.NewWriter(f)
-		closers = append(closers, bw.Flush)
-		if lw, err = sflow.NewLogWriter(bw, [4]byte{192, 0, 2, 1}, sflow.DefaultRate); err != nil {
-			return err
-		}
-	}
-	if pcapPath != "" {
-		f, err := os.Create(pcapPath)
-		if err != nil {
-			return err
-		}
-		closers = append(closers, f.Close)
-		bw := bufio.NewWriter(f)
-		closers = append(closers, bw.Flush)
-		if pw, err = pcap.NewWriter(bw, sflow.DefaultSnaplen); err != nil {
-			return err
-		}
-	}
-	// Generation order is per-event, not chronological (and events
-	// straddling midnight emit into the next day); a collector's log is
-	// arrival-ordered, so sort the exported window by capture time.
-	var recs []ecosystem.TaggedRecord
-	day := simclock.MeasurementStart
-	for d := 0; d < days; d++ {
-		recs = append(recs, gen.WireDay(day).IXP...)
-		day = day.Add(simclock.Day)
-	}
-	slices.SortStableFunc(recs, func(a, b ecosystem.TaggedRecord) int {
-		return int(a.Rec.Time.Sub(b.Rec.Time))
-	})
-	for _, tr := range recs {
-		if lw != nil {
-			if err := lw.Add(tr.Rec, tr.Ingress); err != nil {
-				return err
-			}
-		}
-		if pw != nil {
-			if err := pw.WritePacket(tr.Rec.Time, 0, tr.Rec.FrameLen, tr.Rec.Frame); err != nil {
-				return err
-			}
-		}
-	}
-	frames := len(recs)
-	if lw != nil {
-		if err := lw.Flush(); err != nil {
-			return err
-		}
-	}
-	// Flush writers innermost-last: closers were appended file-then-
-	// buffer, so walk them in reverse.
-	for i := len(closers) - 1; i >= 0; i-- {
-		if err := closers[i](); err != nil {
-			return err
-		}
-	}
-	fmt.Fprintf(os.Stderr, "wire capture: %d sampled frames over %d days\n", frames, days)
-	return nil
-}
 
 // eventJSON is the serialized ground-truth form.
 type eventJSON struct {
@@ -128,7 +57,51 @@ func main() {
 	trafficSeed := flag.Int64("traffic-seed", 1, "traffic synthesis seed for the wire export")
 	sflowOut := flag.String("sflow-out", "", "write the sampled traffic as an sFlow v5 datagram log")
 	pcapOut := flag.String("pcap-out", "", "write the sampled traffic as a classic pcap file")
+	scenarioName := flag.String("scenario", "", "export a catalog scenario's wire stream instead of the campaign's events")
+	scenarioSeed := flag.Int64("scenario-seed", 42, "scenario seed for -scenario")
+	listScenarios := flag.Bool("list-scenarios", false, "list catalog scenarios and exit")
 	flag.Parse()
+
+	if *listScenarios {
+		for _, sc := range scenario.Catalog() {
+			fmt.Printf("%-18s %-7s %s\n", sc.Name, sc.Kind, sc.Description)
+		}
+		return
+	}
+	if err := validateFlags(*sflowOut, *pcapOut, *wireDays, *scenarioName); err != nil {
+		fmt.Fprintln(os.Stderr, "attackgen:", err)
+		fmt.Fprintln(os.Stderr, "run with -h for usage")
+		os.Exit(2)
+	}
+
+	wantWire := *sflowOut != "" || *pcapOut != ""
+
+	if *scenarioName != "" {
+		// Scenario export path: the campaign only supplies the benign
+		// background substrate; ground-truth events JSON would describe
+		// attacks the capture does not contain, so the JSONL dump is
+		// skipped and the scenario's own labels are reported instead.
+		sc, err := scenario.ByName(*scenarioName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "attackgen:", err)
+			os.Exit(2)
+		}
+		p := scenario.DefaultParams()
+		p.Days = *wireDays
+		p.Scale = *scale
+		p.CampaignSeed = *seed
+		p.TrafficSeed = *trafficSeed
+		env := scenario.NewEnv(p)
+		bt := env.Build(sc, *scenarioSeed)
+		n, err := bt.ExportWire(*sflowOut, *pcapOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "attackgen: wire export:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "scenario %s (%s): %d sampled frames over %d days, %d ground-truth victim-days\n",
+			sc.Name, sc.Kind, n, p.Days, len(bt.TruthSet))
+		return
+	}
 
 	cfg := ecosystem.DefaultCampaignConfig(*scale)
 	cfg.Seed = *seed
@@ -183,12 +156,45 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "relocation 1: %s (ingress AS%d), relocation 2: %s (ingress AS%d)\n",
 		c.Entity.Reloc1.Date(), c.Entity.Ingress1, c.Entity.Reloc2.Date(), c.Entity.Ingress2)
-	_ = simclock.MainPeriod()
 
-	if *sflowOut != "" || *pcapOut != "" {
-		if err := exportWire(c, *trafficSeed, *wireDays, *sflowOut, *pcapOut); err != nil {
+	if wantWire {
+		recs := scenario.CampaignWireRecords(c, *trafficSeed, *wireDays)
+		n, err := scenario.WriteWire(recs, *sflowOut, *pcapOut)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "attackgen: wire export:", err)
 			os.Exit(1)
 		}
+		fmt.Fprintf(os.Stderr, "wire capture: %d sampled frames over %d days\n", n, *wireDays)
 	}
+}
+
+// validateFlags rejects flag combinations that would silently do
+// nothing (or silently do less than asked): wire-export tuning without
+// an output, outputs with a non-positive day count, scenarios without a
+// capture to land in.
+func validateFlags(sflowOut, pcapOut string, wireDays int, scenarioName string) error {
+	wantWire := sflowOut != "" || pcapOut != ""
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if wantWire && wireDays < 1 {
+		return fmt.Errorf("-sflow-out/-pcap-out need -wire-days >= 1 (got %d): nothing would be exported", wireDays)
+	}
+	if !wantWire {
+		for _, name := range []string{"wire-days", "traffic-seed"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s has no effect without -sflow-out or -pcap-out", name)
+			}
+		}
+		if scenarioName != "" {
+			return fmt.Errorf("-scenario needs -sflow-out and/or -pcap-out: a scenario export is a wire capture")
+		}
+		if explicit["scenario-seed"] {
+			return fmt.Errorf("-scenario-seed has no effect without -scenario")
+		}
+	}
+	if scenarioName == "" && explicit["scenario-seed"] {
+		return fmt.Errorf("-scenario-seed has no effect without -scenario")
+	}
+	return nil
 }

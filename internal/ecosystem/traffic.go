@@ -128,6 +128,15 @@ type Generator struct {
 	// that skipping changes per-day RNG consumption, so per-flow TXIDs
 	// differ from a full run; counts and timing do not.
 	SkipIXP bool
+	// SkipAttacks suppresses the campaign's attack-event traffic (both
+	// the IXP records and the honeypot sensor flows), leaving only the
+	// organic background. The scenario library composes its own attack
+	// overlays on top of this benign baseline so campaign events never
+	// pollute a scenario's ground-truth labels. As with SkipIXP,
+	// skipping changes per-day RNG consumption relative to a full run;
+	// the background traffic itself stays deterministic for fixed
+	// (campaign, seed, day, SkipAttacks).
+	SkipAttacks bool
 
 	seed int64
 
@@ -361,8 +370,10 @@ func (g *Generator) Day(day simclock.Time) *DayTraffic {
 			dg.batch.Grow(g.Background.SamplesPerDay + 256)
 		}
 	}
-	for _, ev := range g.C.EventsOnDay(day) {
-		dg.attackTraffic(&dt.Sensors, ev)
+	if !g.SkipAttacks {
+		for _, ev := range g.C.EventsOnDay(day) {
+			dg.attackTraffic(&dt.Sensors, ev)
+		}
 	}
 	if !g.SkipIXP && simclock.MainPeriod().Contains(day) {
 		dg.backgroundTraffic(day)
@@ -380,8 +391,10 @@ func (g *Generator) WireDay(day simclock.Time) *WireDayTraffic {
 	if !g.SkipIXP {
 		dg.frames = &dt.IXP
 	}
-	for _, ev := range g.C.EventsOnDay(day) {
-		dg.attackTraffic(&dt.Sensors, ev)
+	if !g.SkipAttacks {
+		for _, ev := range g.C.EventsOnDay(day) {
+			dg.attackTraffic(&dt.Sensors, ev)
+		}
 	}
 	if !g.SkipIXP && simclock.MainPeriod().Contains(day) {
 		dg.backgroundTraffic(day)

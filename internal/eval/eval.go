@@ -1,0 +1,194 @@
+// Package eval is the adversarial evaluation harness: it runs
+// internal/scenario catalog entries through the staged pipeline.Runner,
+// sweeps detection Thresholds grids cheaply via per-stage re-Detect
+// (one aggregation per scenario, one Detect per grid point), and scores
+// detections against the scenario's ground-truth labels as
+// precision/recall/F1/time-to-detect.
+//
+// The harness turns "does it still detect?" into a regression surface:
+// a fixed (params, seed, grid) triple yields a deterministic score
+// table, committed as a golden and enforced by CI's eval-smoke job.
+package eval
+
+import (
+	"dnsamp/internal/core"
+	"dnsamp/internal/pipeline"
+	"dnsamp/internal/scenario"
+)
+
+// Grid is the thresholds sweep: every Share x MinPackets combination.
+type Grid struct {
+	Shares     []float64
+	MinPackets []int
+}
+
+// DefaultGrid spans the paper's operating point (0.90 / 10) with the
+// neighbours that flip the catalog's marginal scenarios: MinPackets 5
+// exposes carpet-bomb and slow-drip, 20 starves pulse-wave.
+func DefaultGrid() Grid {
+	return Grid{Shares: []float64{0.50, 0.90}, MinPackets: []int{5, 10, 20}}
+}
+
+// Points enumerates the grid in report order (share-major).
+func (g Grid) Points() []core.Thresholds {
+	var out []core.Thresholds
+	for _, s := range g.Shares {
+		for _, mp := range g.MinPackets {
+			out = append(out, core.Thresholds{MinShare: s, MinPackets: mp})
+		}
+	}
+	return out
+}
+
+// Score is one (scenario, thresholds) cell of the evaluation table.
+type Score struct {
+	Scenario   string          `json:"scenario"`
+	Kind       string          `json:"kind"`
+	Thresholds core.Thresholds `json:"thresholds"`
+
+	// TP/FP/FN count (victim, day) pairs against ground truth.
+	TP int `json:"tp"`
+	FP int `json:"fp"`
+	FN int `json:"fn"`
+
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+
+	// TTDDays is the mean time-to-detect in days over truth victims
+	// that were detected at all: first detected day minus first
+	// ground-truth day per victim. -1 when no truth victim was detected
+	// (or the scenario is benign).
+	TTDDays float64 `json:"ttd_days"`
+	// DetectedVictims / TruthVictims count distinct victims.
+	DetectedVictims int `json:"detected_victims"`
+	TruthVictims    int `json:"truth_victims"`
+}
+
+// Result bundles one full catalog evaluation.
+type Result struct {
+	Params scenario.Params `json:"params"`
+	Seed   int64           `json:"seed"`
+	Grid   Grid            `json:"grid"`
+	Scores []Score         `json:"scores"`
+}
+
+// Options control an evaluation run.
+type Options struct {
+	// Grid is the thresholds sweep (DefaultGrid when zero).
+	Grid Grid
+	// Concurrency is the pipeline worker width (0 = all cores).
+	Concurrency int
+}
+
+// EvalBuilt scores one built scenario across the grid: one pipeline
+// aggregation, then one cheap re-Detect per grid point.
+func EvalBuilt(bt *scenario.Built, opt Options) []Score {
+	grid := opt.Grid
+	if len(grid.Shares) == 0 || len(grid.MinPackets) == 0 {
+		grid = DefaultGrid()
+	}
+	cfg := pipeline.Config{
+		Campaign:   bt.Env.C.Cfg,
+		Thresholds: core.DefaultThresholds(),
+		// The consensus sweep is bypassed via ForceNames; keep its
+		// bound minimal anyway.
+		MaxSelectorN: 1,
+		Concurrency:  opt.Concurrency,
+	}
+	r := pipeline.NewRunnerWithSource(cfg, bt.Env.C, bt.Source)
+	r.ForceNames = bt.Candidates
+	r.Aggregate()
+	var scores []Score
+	for _, th := range grid.Points() {
+		r.Cfg.Thresholds = th
+		r.Detect()
+		scores = append(scores, scoreDetections(bt, th, r.Current().Detections))
+	}
+	return scores
+}
+
+// scoreDetections computes one Score cell from raw detections.
+func scoreDetections(bt *scenario.Built, th core.Thresholds, dets []*core.Detection) Score {
+	s := Score{
+		Scenario:     bt.Scenario.Name,
+		Kind:         bt.Scenario.Kind.String(),
+		Thresholds:   th,
+		TruthVictims: len(bt.Truth),
+		TTDDays:      -1,
+	}
+	detected := make(map[core.ClientDay]bool, len(dets))
+	firstDet := make(map[[4]byte]int)
+	for _, d := range dets {
+		detected[core.ClientDay{Client: d.Victim, Day: d.Day}] = true
+		if f, ok := firstDet[d.Victim]; !ok || d.Day < f {
+			firstDet[d.Victim] = d.Day
+		}
+	}
+	for k := range detected {
+		if bt.TruthSet[k] {
+			s.TP++
+		} else {
+			s.FP++
+		}
+	}
+	for k := range bt.TruthSet {
+		if !detected[k] {
+			s.FN++
+		}
+	}
+	var ttdSum float64
+	for _, gt := range bt.Truth {
+		f, ok := firstDet[gt.Victim]
+		if !ok || len(gt.Days) == 0 {
+			continue
+		}
+		s.DetectedVictims++
+		ttdSum += float64(f - gt.Days[0])
+	}
+	if s.DetectedVictims > 0 {
+		s.TTDDays = ttdSum / float64(s.DetectedVictims)
+	}
+	s.Precision = 1
+	if s.TP+s.FP > 0 {
+		s.Precision = float64(s.TP) / float64(s.TP+s.FP)
+	}
+	s.Recall = 1
+	if s.TP+s.FN > 0 {
+		s.Recall = float64(s.TP) / float64(s.TP+s.FN)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s
+}
+
+// EvalCatalog builds and scores every selected scenario over one shared
+// env. names filters the catalog ("" entries are ignored; empty list =
+// all). Builds run sequentially — they write into the env's shared
+// interning table.
+func EvalCatalog(env *scenario.Env, seed int64, names []string, opt Options) (*Result, error) {
+	grid := opt.Grid
+	if len(grid.Shares) == 0 || len(grid.MinPackets) == 0 {
+		grid = DefaultGrid()
+	}
+	opt.Grid = grid
+	res := &Result{Params: env.P, Seed: seed, Grid: grid}
+	cat := scenario.Catalog()
+	if len(names) > 0 {
+		var sel []*scenario.Scenario
+		for _, n := range names {
+			sc, err := scenario.ByName(n)
+			if err != nil {
+				return nil, err
+			}
+			sel = append(sel, sc)
+		}
+		cat = sel
+	}
+	for _, sc := range cat {
+		bt := env.Build(sc, seed)
+		res.Scores = append(res.Scores, EvalBuilt(bt, opt)...)
+	}
+	return res, nil
+}

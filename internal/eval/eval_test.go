@@ -1,0 +1,175 @@
+package eval
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dnsamp/internal/scenario"
+	"dnsamp/internal/source"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden eval table")
+
+// goldenParams are the fixed-seed parameters of the committed golden:
+// small enough for CI, large enough that every scenario exercises its
+// designed behaviour (pulse-wave ramp, carpet-bomb spray width,
+// mid-window confounders).
+func goldenParams() scenario.Params {
+	return scenario.Params{Days: 6, Scale: 0.03, ProceduralNames: 20_000, CampaignSeed: 1, TrafficSeed: 11}
+}
+
+const goldenSeed = 42
+
+// TestGoldenCatalog is the eval-smoke regression gate: the rendered
+// score table of the full catalog at fixed params/seed/grid must match
+// the committed golden byte for byte. Run with -update to regenerate
+// after an intentional detector or catalog change.
+func TestGoldenCatalog(t *testing.T) {
+	env := scenario.NewEnv(goldenParams())
+	res, err := EvalCatalog(env, goldenSeed, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_catalog.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test ./internal/eval -run Golden -update`): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("eval table drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestGoldenExpectations sanity-checks the catalog's designed contrasts
+// independently of exact golden bytes, so a legitimate -update cannot
+// silently commit a broken detector: pulse-wave is detected at
+// defaults, slow-drip and carpet-bomb only below them, random-subdomain
+// never, flash-crowd stays silent, scanner-burst false-positives at
+// defaults.
+func TestGoldenExpectations(t *testing.T) {
+	env := scenario.NewEnv(goldenParams())
+	res, err := EvalCatalog(env, goldenSeed, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(name string, share float64, minpkts int) Score {
+		t.Helper()
+		for _, s := range res.Scores {
+			if s.Scenario == name && s.Thresholds.MinShare == share && s.Thresholds.MinPackets == minpkts {
+				return s
+			}
+		}
+		t.Fatalf("no score for %s @ %.2f/%d", name, share, minpkts)
+		return Score{}
+	}
+	if s := at("pulse-wave", 0.9, 10); s.Recall <= 0.5 || s.TTDDays < 1 {
+		t.Errorf("pulse-wave at defaults: recall=%.3f ttd=%.1f, want detected with ttd >= 1", s.Recall, s.TTDDays)
+	}
+	if s := at("slow-drip", 0.9, 10); s.Recall != 0 {
+		t.Errorf("slow-drip at defaults: recall=%.3f, want 0 (tuned under MinPackets)", s.Recall)
+	}
+	if s := at("slow-drip", 0.9, 5); s.Recall != 1 {
+		t.Errorf("slow-drip at minpkts=5: recall=%.3f, want 1", s.Recall)
+	}
+	if s := at("carpet-bomb", 0.9, 10); s.Recall != 0 {
+		t.Errorf("carpet-bomb at defaults: recall=%.3f, want 0", s.Recall)
+	}
+	if s := at("carpet-bomb", 0.9, 5); s.Recall != 1 {
+		t.Errorf("carpet-bomb at minpkts=5: recall=%.3f, want 1", s.Recall)
+	}
+	for _, mp := range res.Grid.MinPackets {
+		if s := at("random-subdomain", 0.5, mp); s.Recall != 0 {
+			t.Errorf("random-subdomain at minpkts=%d: recall=%.3f, want 0 (blind spot)", mp, s.Recall)
+		}
+	}
+	if s := at("flash-crowd", 0.5, 5); s.FP != 0 {
+		t.Errorf("flash-crowd at loosest grid point: %d false positives, want 0", s.FP)
+	}
+	if s := at("scanner-burst", 0.9, 10); s.FP == 0 {
+		t.Errorf("scanner-burst at defaults: no false positive, want >= 1 (large-RRset confounder)")
+	}
+}
+
+// roundTripParams keep the wire round-trip affordable: the full catalog
+// is exported and re-ingested at a 3-day window.
+func roundTripParams() scenario.Params {
+	return scenario.Params{Days: 3, Scale: 0.02, ProceduralNames: 20_000, CampaignSeed: 1, TrafficSeed: 11}
+}
+
+// TestRoundTripSFlow is the export acceptance test: every catalog
+// scenario, exported as an sFlow datagram log and re-ingested through
+// the capture path, must score identically to the directly built
+// source at every grid point.
+func TestRoundTripSFlow(t *testing.T) {
+	roundTrip(t, true)
+}
+
+// TestRoundTripPCAP is the same equivalence through the pcap writer and
+// reader (which drop ingress annotations — they must not affect
+// scores).
+func TestRoundTripPCAP(t *testing.T) {
+	roundTrip(t, false)
+}
+
+func roundTrip(t *testing.T, viaSFlow bool) {
+	env := scenario.NewEnv(roundTripParams())
+	opt := Options{Grid: Grid{Shares: []float64{0.5, 0.9}, MinPackets: []int{5, 10}}}
+	dir := t.TempDir()
+	for _, sc := range scenario.Catalog() {
+		bt := env.Build(sc, goldenSeed)
+		want := EvalBuilt(bt, opt)
+
+		sp, pp := "", ""
+		if viaSFlow {
+			sp = filepath.Join(dir, sc.Name+".sflowlog")
+		} else {
+			pp = filepath.Join(dir, sc.Name+".pcap")
+		}
+		if _, err := bt.ExportWire(sp, pp); err != nil {
+			t.Fatalf("%s: export: %v", sc.Name, err)
+		}
+
+		rep := source.NewReplay(nil)
+		path := sp + pp // exactly one is non-empty
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaSFlow {
+			_, err = rep.IngestSFlowLog(f)
+		} else {
+			_, err = rep.IngestPCAP(f)
+		}
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: ingest: %v", sc.Name, err)
+		}
+
+		ingested := *bt
+		ingested.Source = rep
+		got := EvalBuilt(&ingested, opt)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: scores differ after wire round-trip\n direct: %+v\n ingested: %+v",
+				sc.Name, want, got)
+		}
+	}
+}

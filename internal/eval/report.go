@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteTable renders the score table as fixed-width text: one row per
+// (scenario, grid point), scenario-major in catalog order, grid in
+// Points order. The rendering is deterministic — it is the committed
+// golden CI diffs against.
+func WriteTable(w io.Writer, res *Result) error {
+	if _, err := fmt.Fprintf(w,
+		"# scenario eval: days=%d scale=%.3f names=%d cseed=%d tseed=%d seed=%d\n",
+		res.Params.Days, res.Params.Scale, res.Params.ProceduralNames,
+		res.Params.CampaignSeed, res.Params.TrafficSeed, res.Seed); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-18s %-7s %6s %7s  %4s %4s %4s  %9s %7s %7s %6s\n",
+		"scenario", "kind", "share", "minpkts",
+		"tp", "fp", "fn", "precision", "recall", "f1", "ttd"); err != nil {
+		return err
+	}
+	last := ""
+	for _, s := range res.Scores {
+		if last != "" && s.Scenario != last {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		last = s.Scenario
+		ttd := "-"
+		if s.TTDDays >= 0 {
+			ttd = fmt.Sprintf("%.1f", s.TTDDays)
+		}
+		if _, err := fmt.Fprintf(w, "%-18s %-7s %6.2f %7d  %4d %4d %4d  %9.3f %7.3f %7.3f %6s\n",
+			s.Scenario, s.Kind, s.Thresholds.MinShare, s.Thresholds.MinPackets,
+			s.TP, s.FP, s.FN, s.Precision, s.Recall, s.F1, ttd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the full result as indented JSON.
+func WriteJSON(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -168,6 +168,15 @@ type Runner struct {
 	// Src is the traffic stream. Built by Plan when nil.
 	Src source.Source
 
+	// ForceNames, when non-empty, bypasses the selector consensus: Select
+	// builds the misused-name list directly from these names instead of
+	// sweeping the selectors. Evaluation harnesses use it to score
+	// detection against a scenario's known candidate list — scenario
+	// sources carry no honeypot flows, so the ground-truth selector (and
+	// with it the consensus) has nothing to anchor on. The selector
+	// results and consensus curve are left zero.
+	ForceNames []string
+
 	st     *Study
 	days   []simclock.Time
 	window simclock.Window
@@ -320,6 +329,16 @@ func (r *Runner) Select() *Runner {
 		r.Aggregate()
 	}
 	st := r.st
+	if len(r.ForceNames) > 0 {
+		nl := &core.NameList{N: len(r.ForceNames), Names: make(map[string]bool, len(r.ForceNames))}
+		for _, n := range r.ForceNames {
+			nl.Names[n] = true
+		}
+		st.NameList = nl
+		r.selected = true
+		r.detected, r.collected = false, false
+		return r
+	}
 	gts := make([]core.GroundTruthAttack, 0, len(st.HoneypotAttacks))
 	for _, a := range st.HoneypotAttacks {
 		gts = append(gts, core.GroundTruthAttack{Victim: a.VictimKey(), Start: a.Start, End: a.End})
@@ -430,6 +449,12 @@ func (r *Runner) Collect() *Runner {
 	r.collected = true
 	return r
 }
+
+// Current returns the Study as computed so far without running any
+// stages — unlike Study, which forces a full Collect. Callers that only
+// need detections invoke Detect and read Current: threshold sweeps skip
+// the pass-2 record collection entirely. Nil before Plan has run.
+func (r *Runner) Current() *Study { return r.st }
 
 // DetectionKeys returns the set of detected (victim, day) keys in the
 // main window.

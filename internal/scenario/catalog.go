@@ -1,0 +1,365 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/simclock"
+)
+
+// Catalog returns the scenario catalog in its stable report order:
+// attack scenarios first, then the benign confounders. All counts below
+// are *sampled* packets per day — the unit the detector's
+// Thresholds.MinPackets operates on (one sampled record stands for
+// ~16k wire packets at the default sFlow rate).
+func Catalog() []*Scenario {
+	return []*Scenario{
+		PulseWave(),
+		CarpetBomb(),
+		RandomSubdomain(),
+		SlowDrip(),
+		ResolverChurn(),
+		FlashCrowd(),
+		ScannerBurst(),
+	}
+}
+
+// attackSize is the announced UDP payload size of an amplified
+// response; large enough that any reasonable amplification-factor
+// heuristic counts it, small enough to stay within every EDNS cap.
+const attackSize = 2900
+
+// PulseWave is the on/off burst amplification attack: a quiet ramp day
+// below MinPackets, then full-rate days delivered as short pulses with
+// silent gaps (the attacker's duty cycling). Detection at default
+// thresholds starts one day after the attack does — time-to-detect 1 —
+// because the per-day aggregation integrates over the duty cycle.
+func PulseWave() *Scenario {
+	sc := &Scenario{
+		Name: "pulse-wave",
+		Kind: Attack,
+		Description: "single victim; ramp day under MinPackets, then " +
+			"48 pkts/day in on/off bursts",
+	}
+	sc.Prepare = func(env *Env, seed int64) *Plan {
+		s := scenarioSeed(seed, sc.Name)
+		rng := rand.New(rand.NewSource(s))
+		victims, origins := pickVictims(env, rng, 1)
+		victim, victimAS := victims[0], origins[0]
+		name := candidateName(env, rng)
+		amps := pickAmplifiers(env, rng, env.P.Window().Start, 24)
+		days := env.P.Days
+		return &Plan{
+			Truth: []GroundTruth{{Victim: victim.As4(), Days: truthDays(env, 1, days)}},
+			DayFrames: func(day simclock.Time) []ecosystem.TaggedRecord {
+				idx := day.DayIndex(env.P.Window().Start)
+				if idx < 1 || idx >= days {
+					return nil
+				}
+				e := newEmitter(daySeed(s, day))
+				pkts := 48
+				if idx == 1 {
+					pkts = 6 // ramp: below DefaultThresholds.MinPackets
+				}
+				// Eight pulses of equal share, each a few minutes
+				// wide, with silent gaps in between.
+				for i := 0; i < pkts; i++ {
+					pulse := i % 8
+					off := simclock.Duration(pulse)*simclock.Hours(3) +
+						simclock.Duration(e.rng.Int63n(int64(simclock.Minutes(5))))
+					amp := amps[e.rng.Intn(len(amps))]
+					e.response(day.Add(off), amp.Addr, amp.ASN, victim, victimAS,
+						name, dnswire.TypeANY, dnswire.RCodeNoError, attackSize,
+						amp.ObservedTTL())
+				}
+				return e.out
+			},
+		}
+	}
+	return sc
+}
+
+// CarpetBomb sprays a whole set of victims with a low per-victim rate:
+// every victim-day sits below DefaultThresholds.MinPackets, so the
+// attack is invisible at defaults and only appears when MinPackets is
+// lowered — the recall/threshold trade-off the eval grid exposes.
+func CarpetBomb() *Scenario {
+	sc := &Scenario{
+		Name: "carpet-bomb",
+		Kind: Attack,
+		Description: "36 victims x 6 pkts/day each, all under the " +
+			"default MinPackets",
+	}
+	sc.Prepare = func(env *Env, seed int64) *Plan {
+		s := scenarioSeed(seed, sc.Name)
+		rng := rand.New(rand.NewSource(s))
+		const nVictims = 36
+		victims, origins := pickVictims(env, rng, nVictims)
+		name := candidateName(env, rng)
+		amps := pickAmplifiers(env, rng, env.P.Window().Start, 24)
+		days := env.P.Days
+		truth := make([]GroundTruth, nVictims)
+		for i, v := range victims {
+			truth[i] = GroundTruth{Victim: v.As4(), Days: truthDays(env, 1, days)}
+		}
+		return &Plan{
+			Truth: truth,
+			DayFrames: func(day simclock.Time) []ecosystem.TaggedRecord {
+				idx := day.DayIndex(env.P.Window().Start)
+				if idx < 1 || idx >= days {
+					return nil
+				}
+				e := newEmitter(daySeed(s, day))
+				for vi, v := range victims {
+					for i := 0; i < 6; i++ {
+						amp := amps[e.rng.Intn(len(amps))]
+						e.response(dayTime(e.rng, day), amp.Addr, amp.ASN,
+							v, origins[vi], name, dnswire.TypeANY,
+							dnswire.RCodeNoError, attackSize, amp.ObservedTTL())
+					}
+				}
+				return e.out
+			},
+		}
+	}
+	return sc
+}
+
+// RandomSubdomain is the water-torture / NXDOMAIN flood: spoofed
+// queries for unique random labels under a victim zone, answered
+// NXDOMAIN. None of the random names are tracked candidates, so the
+// candidate-share detector scores zero recall at every grid point —
+// the catalog's documented blind spot (the paper's method targets
+// amplification, not resolver exhaustion).
+func RandomSubdomain() *Scenario {
+	sc := &Scenario{
+		Name: "random-subdomain",
+		Kind: Attack,
+		Description: "NXDOMAIN flood with unique random labels; " +
+			"invisible to candidate-share detection",
+	}
+	sc.Prepare = func(env *Env, seed int64) *Plan {
+		s := scenarioSeed(seed, sc.Name)
+		rng := rand.New(rand.NewSource(s))
+		victims, origins := pickVictims(env, rng, 1)
+		victim, victimAS := victims[0], origins[0]
+		zone := candidateName(env, rng)
+		amps := pickAmplifiers(env, rng, env.P.Window().Start, 16)
+		days := env.P.Days
+		return &Plan{
+			Truth: []GroundTruth{{Victim: victim.As4(), Days: truthDays(env, 1, days)}},
+			DayFrames: func(day simclock.Time) []ecosystem.TaggedRecord {
+				idx := day.DayIndex(env.P.Window().Start)
+				if idx < 1 || idx >= days {
+					return nil
+				}
+				e := newEmitter(daySeed(s, day))
+				for i := 0; i < 60; i++ {
+					amp := amps[e.rng.Intn(len(amps))]
+					label := fmt.Sprintf("r%08x.%s", e.rng.Uint32(), zone)
+					t := dayTime(e.rng, day)
+					// Spoofed query src=victim, then the resolver's
+					// NXDOMAIN back at the victim.
+					e.query(t, victim, victimAS, amp.Addr, amp.ASN,
+						label, dnswire.TypeA, 244, 0)
+					e.response(t.Add(simclock.Second), amp.Addr, amp.ASN,
+						victim, victimAS, label, dnswire.TypeA,
+						dnswire.RCodeNXDomain, 0, amp.ObservedTTL())
+				}
+				return e.out
+			},
+		}
+	}
+	return sc
+}
+
+// SlowDrip holds a victim at exactly MinPackets-1 candidate responses
+// per day with a pure candidate share — tuned just under
+// DefaultThresholds, so it is missed at defaults and found the moment
+// MinPackets drops.
+func SlowDrip() *Scenario {
+	sc := &Scenario{
+		Name: "slow-drip",
+		Kind: Attack,
+		Description: "9 pkts/day at share 1.0 — one packet under the " +
+			"default MinPackets, every day",
+	}
+	sc.Prepare = func(env *Env, seed int64) *Plan {
+		s := scenarioSeed(seed, sc.Name)
+		rng := rand.New(rand.NewSource(s))
+		victims, origins := pickVictims(env, rng, 1)
+		victim, victimAS := victims[0], origins[0]
+		name := candidateName(env, rng)
+		amps := pickAmplifiers(env, rng, env.P.Window().Start, 12)
+		days := env.P.Days
+		return &Plan{
+			Truth: []GroundTruth{{Victim: victim.As4(), Days: truthDays(env, 0, days)}},
+			DayFrames: func(day simclock.Time) []ecosystem.TaggedRecord {
+				idx := day.DayIndex(env.P.Window().Start)
+				if idx < 0 || idx >= days {
+					return nil
+				}
+				e := newEmitter(daySeed(s, day))
+				for i := 0; i < 9; i++ {
+					amp := amps[e.rng.Intn(len(amps))]
+					e.response(dayTime(e.rng, day), amp.Addr, amp.ASN,
+						victim, victimAS, name, dnswire.TypeANY,
+						dnswire.RCodeNoError, attackSize, amp.ObservedTTL())
+				}
+				return e.out
+			},
+		}
+	}
+	return sc
+}
+
+// ResolverChurn rotates the reflector set and the spoofed ingress every
+// day (booter-style infrastructure churn): each day a fresh amplifier
+// sample fires 30 responses, and the spoofed queries arrive through a
+// different member port. Per-day aggregation makes churn irrelevant —
+// detected at defaults every attack day.
+func ResolverChurn() *Scenario {
+	sc := &Scenario{
+		Name: "resolver-churn",
+		Kind: Attack,
+		Description: "30 pkts/day with the amplifier set and spoofed " +
+			"ingress rotating daily",
+	}
+	sc.Prepare = func(env *Env, seed int64) *Plan {
+		s := scenarioSeed(seed, sc.Name)
+		rng := rand.New(rand.NewSource(s))
+		victims, origins := pickVictims(env, rng, 1)
+		victim, victimAS := victims[0], origins[0]
+		name := candidateName(env, rng)
+		days := env.P.Days
+		return &Plan{
+			Truth: []GroundTruth{{Victim: victim.As4(), Days: truthDays(env, 1, days)}},
+			DayFrames: func(day simclock.Time) []ecosystem.TaggedRecord {
+				idx := day.DayIndex(env.P.Window().Start)
+				if idx < 1 || idx >= days {
+					return nil
+				}
+				e := newEmitter(daySeed(s, day))
+				// Fresh reflector sample every day: the churn.
+				amps := pickAmplifiers(env, e.rng, day, 10)
+				ingress := amps[e.rng.Intn(len(amps))].ASN
+				for i := 0; i < 30; i++ {
+					amp := amps[e.rng.Intn(len(amps))]
+					t := dayTime(e.rng, day)
+					if i%3 == 0 {
+						// Spoofed query src=victim through the day's
+						// ingress port; counts toward the victim's
+						// candidate share too (request attribution).
+						e.query(t, victim, victimAS, amp.Addr, amp.ASN,
+							name, dnswire.TypeANY, 241, ingress)
+					}
+					e.response(t.Add(simclock.Second), amp.Addr, amp.ASN,
+						victim, victimAS, name, dnswire.TypeANY,
+						dnswire.RCodeNoError, attackSize, amp.ObservedTTL())
+				}
+				return e.out
+			},
+		}
+	}
+	return sc
+}
+
+// FlashCrowd is a benign confounder: a legitimate popularity burst for
+// a non-candidate name. Hundreds of clients suddenly receive response
+// bursts — heavy client-days, but with zero candidate share, so a
+// correct detector stays silent.
+func FlashCrowd() *Scenario {
+	sc := &Scenario{
+		Name: "flash-crowd",
+		Kind: Benign,
+		Description: "popularity burst on a non-candidate name; " +
+			"heavy clients, zero candidate share",
+	}
+	sc.Prepare = func(env *Env, seed int64) *Plan {
+		s := scenarioSeed(seed, sc.Name)
+		rng := rand.New(rand.NewSource(s))
+		const nClients = 80
+		clients, origins := pickVictims(env, rng, nClients)
+		name := env.C.DB.ProceduralName(rng.Intn(10_000))
+		amps := pickAmplifiers(env, rng, env.P.Window().Start, 16)
+		days := env.P.Days
+		return &Plan{
+			Truth: nil,
+			DayFrames: func(day simclock.Time) []ecosystem.TaggedRecord {
+				idx := day.DayIndex(env.P.Window().Start)
+				// The crowd lasts two days mid-window.
+				if idx != days/2 && idx != days/2+1 {
+					return nil
+				}
+				e := newEmitter(daySeed(s, day))
+				for ci, cl := range clients {
+					for i := 0; i < 15; i++ {
+						srv := amps[e.rng.Intn(len(amps))]
+						e.response(dayTime(e.rng, day), srv.Addr, srv.ASN,
+							cl, origins[ci], name, dnswire.TypeA,
+							dnswire.RCodeNoError, 220, srv.ObservedTTL())
+					}
+				}
+				return e.out
+			},
+		}
+	}
+	return sc
+}
+
+// ScannerBurst is the adversarial benign confounder: a measurement
+// scanner ANY-queries every misused candidate name in one day and
+// receives the full large-RRset answers. Its client-day has a pure
+// candidate share above MinPackets — a false positive at default
+// thresholds, and the reason precision belongs in the eval table.
+func ScannerBurst() *Scenario {
+	sc := &Scenario{
+		Name: "scanner-burst",
+		Kind: Benign,
+		Description: "one scanner ANY-queries all candidates in a day; " +
+			"false positive at default thresholds",
+	}
+	sc.Prepare = func(env *Env, seed int64) *Plan {
+		s := scenarioSeed(seed, sc.Name)
+		rng := rand.New(rand.NewSource(s))
+		scanners, origins := pickVictims(env, rng, 1)
+		scanner, scannerAS := scanners[0], origins[0]
+		amps := pickAmplifiers(env, rng, env.P.Window().Start, 8)
+		names := env.C.DB.MisusedCandidates()
+		days := env.P.Days
+		return &Plan{
+			Truth: nil,
+			DayFrames: func(day simclock.Time) []ecosystem.TaggedRecord {
+				idx := day.DayIndex(env.P.Window().Start)
+				if idx != days/2 {
+					return nil
+				}
+				e := newEmitter(daySeed(s, day))
+				for _, name := range names {
+					srv := amps[e.rng.Intn(len(amps))]
+					t := dayTime(e.rng, day)
+					e.query(t, scanner, scannerAS, srv.Addr, srv.ASN,
+						name, dnswire.TypeANY, 52, 0)
+					e.response(t.Add(simclock.Second), srv.Addr, srv.ASN,
+						scanner, scannerAS, name, dnswire.TypeANY,
+						dnswire.RCodeNoError, attackSize, srv.ObservedTTL())
+				}
+				return e.out
+			},
+		}
+	}
+	return sc
+}
+
+// candidateName draws one tracked misused name.
+func candidateName(env *Env, rng *rand.Rand) string {
+	cands := env.C.DB.MisusedCandidates()
+	return cands[rng.Intn(len(cands))]
+}
+
+// dayTime draws a uniform instant within day.
+func dayTime(rng *rand.Rand, day simclock.Time) simclock.Time {
+	return day.Add(simclock.Duration(rng.Int63n(int64(simclock.Day))))
+}

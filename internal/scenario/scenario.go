@@ -1,0 +1,381 @@
+// Package scenario is the adversarial traffic catalog: parameterized
+// attack and benign scenarios that stress the paper's detection method
+// (candidate-domain consensus + share/packet thresholds) far beyond the
+// single campaign shape the reproduction was validated against.
+//
+// Each scenario is a pure function of (Params, seed): it overlays
+// deterministic sampled wire traffic — pulse-wave amplification,
+// carpet-bombing, random-subdomain floods, slow drips under the
+// detection thresholds, resolver churn, and benign confounders — on the
+// organic background of an ecosystem.Generator (campaign attack events
+// suppressed via Generator.SkipAttacks, so the scenario owns the
+// complete ground truth). The result is a Built: a source.Replay the
+// staged pipeline.Runner streams like any other source, labeled
+// ground-truth (victim, day) pairs, and the candidate name list the
+// detector should use.
+//
+// Scenario traffic is materialized twice-consistently, like the
+// generator's Day/WireDay twins: the canonical batch form sanitizes the
+// scenario's wire frames through ixp.CapturePoint.Process, and
+// ExportWire writes those exact frames as an sFlow v5 datagram log
+// and/or classic pcap, so export → re-ingest (source.IngestSFlowLog /
+// IngestPCAP) reproduces identical detection scores — the round-trip
+// property internal/eval's tests pin.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"slices"
+
+	"dnsamp/internal/core"
+	"dnsamp/internal/dnswire"
+	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/ixp"
+	"dnsamp/internal/names"
+	"dnsamp/internal/netmodel"
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+	"dnsamp/internal/source"
+	"dnsamp/internal/topology"
+)
+
+// Params are the catalog-wide knobs. Every scenario draws its window,
+// background volume, and namespace from these; per-scenario shape
+// parameters live in the Scenario definitions.
+type Params struct {
+	// Days is the scenario window length, anchored at
+	// simclock.MeasurementStart (must stay inside the main period so
+	// background traffic is generated).
+	Days int
+	// Scale is the background campaign scale (controls organic samples
+	// per day and the client population).
+	Scale float64
+	// ProceduralNames bounds the synthetic namespace (tests use small
+	// values; the CLI default is larger).
+	ProceduralNames int
+	// CampaignSeed / TrafficSeed seed the background campaign and its
+	// traffic synthesis.
+	CampaignSeed, TrafficSeed int64
+}
+
+// DefaultParams returns the catalog defaults used by evalrun and the
+// golden tests: a 8-day window over a small-scale background.
+func DefaultParams() Params {
+	return Params{
+		Days:            8,
+		Scale:           0.05,
+		ProceduralNames: 50_000,
+		CampaignSeed:    1,
+		TrafficSeed:     11,
+	}
+}
+
+// Window returns the scenario window: Days days from the measurement
+// start.
+func (p Params) Window() simclock.Window {
+	return simclock.Window{
+		Start: simclock.MeasurementStart,
+		End:   simclock.MeasurementStart.Add(simclock.Days(p.Days)),
+	}
+}
+
+// Env is the shared substrate scenarios build on: one benign-background
+// campaign and generator reused by every Build call. Construction is
+// the expensive part (topology, zone DB, name interning), so callers
+// build one Env and run the whole catalog against it.
+//
+// Builds intern scenario-specific names (e.g. random-subdomain labels)
+// into the generator's table, so Env is NOT safe for concurrent Build
+// calls; run builds sequentially. A finished Built is read-only and
+// safe for concurrent streaming.
+type Env struct {
+	P   Params
+	C   *ecosystem.Campaign
+	Gen *ecosystem.Generator
+}
+
+// NewEnv plans the shared background substrate for the given params.
+func NewEnv(p Params) *Env {
+	if p.Days <= 0 {
+		p.Days = DefaultParams().Days
+	}
+	if p.Scale <= 0 {
+		p.Scale = DefaultParams().Scale
+	}
+	cfg := ecosystem.DefaultCampaignConfig(p.Scale)
+	cfg.Seed = p.CampaignSeed
+	if p.ProceduralNames > 0 {
+		cfg.Zones.ProceduralNames = p.ProceduralNames
+	}
+	c := ecosystem.NewCampaign(cfg)
+	gen := ecosystem.NewGenerator(c, p.TrafficSeed)
+	gen.SkipAttacks = true
+	return &Env{P: p, C: c, Gen: gen}
+}
+
+// Kind classifies a scenario's ground truth.
+type Kind int
+
+const (
+	// Attack scenarios label real attack (victim, day) pairs; a miss is
+	// a false negative.
+	Attack Kind = iota
+	// Benign scenarios have an empty truth set; any detection is a
+	// false positive.
+	Benign
+)
+
+func (k Kind) String() string {
+	if k == Benign {
+		return "benign"
+	}
+	return "attack"
+}
+
+// GroundTruth labels one attacked victim and the days it is under
+// attack within the scenario window.
+type GroundTruth struct {
+	Victim [4]byte
+	// Days are the day keys (simclock.Time.Day values) under attack,
+	// ascending.
+	Days []int
+}
+
+// Scenario is one catalog entry: a named, parameterized traffic shape.
+// Prepare derives the per-seed plan (victims, amplifier sets, schedule)
+// without materializing traffic; the plan's DayFrames is a pure
+// function of the day, so days may be materialized in any order.
+type Scenario struct {
+	// Name is the catalog key (stable, kebab-case).
+	Name string
+	// Kind separates attack scenarios from benign confounders.
+	Kind Kind
+	// Description is the one-line operator-facing summary.
+	Description string
+
+	// Prepare plans the scenario over the shared env at the given seed.
+	Prepare func(env *Env, seed int64) *Plan
+}
+
+// Plan is a prepared scenario: ground truth plus the per-day overlay
+// frame synthesizer.
+type Plan struct {
+	// Truth holds the labeled attacks (empty for benign scenarios).
+	Truth []GroundTruth
+	// DayFrames emits the scenario's sampled overlay frames for one
+	// day (already-sampled records, like the generator's wire path
+	// after flow thinning). It must be a pure function of day.
+	DayFrames func(day simclock.Time) []ecosystem.TaggedRecord
+}
+
+// Built is a fully materialized scenario, ready for the pipeline.
+type Built struct {
+	Scenario *Scenario
+	Env      *Env
+	Seed     int64
+
+	// Source streams the composed traffic (background + overlay), one
+	// batch per window day.
+	Source *source.Replay
+	// Truth is the labeled ground truth; TruthSet is its (victim, day)
+	// key form used for scoring.
+	Truth    []GroundTruth
+	TruthSet map[core.ClientDay]bool
+	// Candidates is the misused-name list the detector should be run
+	// with (the zone DB's misused candidates — all of them tracked by
+	// the pipeline's aggregator, so threshold shares resolve exactly).
+	Candidates []string
+
+	plan *Plan
+}
+
+// Build materializes one scenario: per window day, the background
+// generator's columnar batch plus the scenario overlay frames sanitized
+// through the capture-point path (exactly what re-ingesting the
+// exported wire capture would produce).
+func (env *Env) Build(sc *Scenario, seed int64) *Built {
+	plan := sc.Prepare(env, seed)
+	rep := source.NewReplay(env.Gen.Table())
+	env.P.Window().EachDay(func(day simclock.Time) {
+		// The generator hands back a freshly materialized batch each
+		// call — nothing else references it, so appending the overlay
+		// in place is safe.
+		b := env.Gen.Day(day).Batch
+		appendFrames(b, env.Gen.Table(), plan.DayFrames(day))
+		rep.AddDay(day, b, nil)
+	})
+	bt := &Built{
+		Scenario:   sc,
+		Env:        env,
+		Seed:       seed,
+		Source:     rep,
+		Truth:      plan.Truth,
+		TruthSet:   make(map[core.ClientDay]bool),
+		Candidates: slices.Clone(env.C.DB.MisusedCandidates()),
+		plan:       plan,
+	}
+	for _, gt := range plan.Truth {
+		for _, d := range gt.Days {
+			bt.TruthSet[core.ClientDay{Client: gt.Victim, Day: d}] = true
+		}
+	}
+	return bt
+}
+
+// appendFrames sanitizes sampled wire frames into the batch through the
+// same capture-point decoding AddFrames uses, preserving ingress tags
+// and accounting drops in the batch counters.
+func appendFrames(b *ixp.SampleBatch, tab *names.Table, recs []ecosystem.TaggedRecord) {
+	cp := ixp.NewCapturePoint(nil, tab)
+	b.Grow(len(recs))
+	for _, tr := range recs {
+		s, ok := cp.Process(tr.Rec)
+		if !ok {
+			continue
+		}
+		b.AppendSample(&s, tr.Ingress)
+	}
+	b.Frames += cp.Stats.Frames
+	b.NonUDP += cp.Stats.NonUDP
+	b.NonDNS += cp.Stats.NonDNS
+	b.Malformed += cp.Stats.Malformed
+}
+
+// scenarioSeed decorrelates per-scenario streams: same mixing shape as
+// the generator's daySeed, salted with the scenario name.
+func scenarioSeed(seed int64, name string) int64 {
+	h := uint64(seed) * 0x9e3779b97f4a7c15
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 0x100000001b3
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return int64(h)
+}
+
+// daySeed derives the per-day stream of a prepared scenario.
+func daySeed(scSeed int64, day simclock.Time) int64 {
+	z := uint64(scSeed)*0x9e3779b97f4a7c15 + uint64(day.Day())*0xbf58476d1ce4e5b9
+	z ^= z >> 31
+	z *= 0x94d049bb133111eb
+	z ^= z >> 29
+	return int64(z)
+}
+
+// emitter synthesizes sampled overlay frames for one scenario day. It
+// mirrors the generator's wire path: full frames with announced UDP
+// lengths (amplified sizes survive snaplen truncation via the length
+// field), truncated by the sampler to capture records.
+type emitter struct {
+	rng     *rand.Rand
+	sampler *sflow.Sampler
+	enc     dnswire.Encoder
+	out     []ecosystem.TaggedRecord
+}
+
+func newEmitter(seed int64) *emitter {
+	return &emitter{
+		rng:     rand.New(rand.NewSource(seed)),
+		sampler: sflow.NewSampler(seed ^ 0x5ce),
+	}
+}
+
+// response emits one server->client DNS response record whose UDP
+// length announces size bytes (the payload materializes only the
+// encoded message prefix, like a truncated capture of a large answer).
+func (e *emitter) response(t simclock.Time, src netip.Addr, srcASN uint32, dst netip.Addr, dstASN uint32, name string, qtype dnswire.Type, rcode dnswire.RCode, size int, ttl uint8) {
+	txid := uint16(e.rng.Intn(1 << 16))
+	q := dnswire.NewQuery(txid, name, qtype, 4096)
+	resp := dnswire.NewResponse(q)
+	resp.Header.RCode = rcode
+	payload := e.enc.Encode(resp)
+	if size < len(payload) {
+		size = len(payload)
+	}
+	eth := netmodel.Ethernet{Src: macForAS(srcASN), Dst: macForAS(dstASN)}
+	ip := netmodel.IPv4{TTL: ttl, ID: uint16(e.rng.Intn(1 << 16)), Src: src, Dst: dst}
+	udp := netmodel.UDP{
+		SrcPort: 53,
+		DstPort: uint16(1024 + e.rng.Intn(60000)),
+		Length:  uint16(netmodel.UDPHeaderLen + size),
+	}
+	frame := netmodel.EncodeUDPPacket(eth, ip, udp, payload)
+	e.out = append(e.out, ecosystem.TaggedRecord{Rec: e.sampler.Take(t, frame)})
+}
+
+// query emits one client->server DNS query record; ingress carries the
+// member-AS port attribution for spoofed sources (0 = derive from the
+// source address).
+func (e *emitter) query(t simclock.Time, src netip.Addr, srcASN uint32, dst netip.Addr, dstASN uint32, name string, qtype dnswire.Type, ttl uint8, ingress uint32) {
+	txid := uint16(e.rng.Intn(1 << 16))
+	q := dnswire.NewQuery(txid, name, qtype, 4096)
+	payload := e.enc.Encode(q)
+	eth := netmodel.Ethernet{Src: macForAS(srcASN), Dst: macForAS(dstASN)}
+	ip := netmodel.IPv4{TTL: ttl, ID: uint16(e.rng.Intn(1 << 16)), Src: src, Dst: dst}
+	udp := netmodel.UDP{SrcPort: uint16(1024 + e.rng.Intn(60000)), DstPort: 53}
+	frame := netmodel.EncodeUDPPacket(eth, ip, udp, payload)
+	e.out = append(e.out, ecosystem.TaggedRecord{Rec: e.sampler.Take(t, frame), Ingress: ingress})
+}
+
+// macForAS mirrors the generator's stable router-MAC derivation.
+func macForAS(asn uint32) netmodel.MAC {
+	return netmodel.MAC{0x02, 0x42, byte(asn >> 24), byte(asn >> 16), byte(asn >> 8), byte(asn)}
+}
+
+// pickVictims draws n distinct victim addresses (with their origin
+// ASNs) from the env topology's access networks.
+func pickVictims(env *Env, rng *rand.Rand, n int) ([]netip.Addr, []uint32) {
+	asns := env.C.Topo.ASesOfType(topology.ASAccess)
+	addrs := make([]netip.Addr, 0, n)
+	origins := make([]uint32, 0, n)
+	seen := make(map[netip.Addr]bool, n)
+	for len(addrs) < n {
+		asn := asns[rng.Intn(len(asns))]
+		a, ok := env.C.Topo.RandomAddrIn(rng, asn)
+		if !ok || seen[a] {
+			continue
+		}
+		seen[a] = true
+		addrs = append(addrs, a)
+		origins = append(origins, asn)
+	}
+	return addrs, origins
+}
+
+// pickAmplifiers samples k alive amplifier endpoints at t.
+func pickAmplifiers(env *Env, rng *rand.Rand, t simclock.Time, k int) []*ecosystem.Amplifier {
+	ids := env.C.Pool.SampleAlive(rng, t, k, nil)
+	out := make([]*ecosystem.Amplifier, len(ids))
+	for i, id := range ids {
+		out[i] = env.C.Pool.Get(id)
+	}
+	return out
+}
+
+// truthDays enumerates the day keys of the window days [from, to)
+// (window-relative indices).
+func truthDays(env *Env, from, to int) []int {
+	var out []int
+	start := env.P.Window().Start
+	for d := from; d < to; d++ {
+		out = append(out, start.Add(simclock.Days(d)).Day())
+	}
+	return out
+}
+
+// ByName resolves a catalog scenario; the error lists valid names.
+func ByName(name string) (*Scenario, error) {
+	for _, sc := range Catalog() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	var known []string
+	for _, sc := range Catalog() {
+		known = append(known, sc.Name)
+	}
+	return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, known)
+}

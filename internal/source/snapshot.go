@@ -138,19 +138,31 @@ func (r *Replay) WriteSnapshot(w io.Writer) error {
 	return e.Flush()
 }
 
+// allocCap bounds the up-front capacity of a snapshot column or table:
+// a claimed element count only guides preallocation up to this limit,
+// and larger claims grow by append as elements actually arrive off the
+// stream — so a corrupt count costs at most the bytes the input really
+// contains, never the memory it promises.
+const allocCap = 1 << 16
+
+// cappedCap is the initial capacity for a slice expecting n elements.
+func cappedCap(n int) int {
+	if n > allocCap {
+		return allocCap
+	}
+	return n
+}
+
 // OpenSnapshot reads a snapshot produced by WriteSnapshot and rebuilds
 // the Replay: a fresh interning table with the recorded ID order, and
-// per-day batches the replay owns. Malformed input — truncation, a bad
-// magic, inconsistent counts — yields an ErrSnapshot-wrapped error,
-// never a panic.
+// per-day batches the replay owns. The input is decoded as a stream —
+// a multi-gigabyte snapshot is never buffered wholesale — and malformed
+// input (truncation, a bad magic, inconsistent counts) yields an
+// ErrSnapshot-wrapped error, never a panic.
 func OpenSnapshot(rd io.Reader) (*Replay, error) {
-	raw, err := io.ReadAll(rd)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
-	}
-	d := binenc.NewDecoder(raw, ErrSnapshot)
+	d := binenc.NewStreamDecoder(rd, ErrSnapshot)
 	var magic [8]byte
-	copy(magic[:], d.Raw(8))
+	d.RawInto(magic[:])
 	if d.Err() == nil && magic != snapMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrSnapshot)
 	}
@@ -160,9 +172,13 @@ func OpenSnapshot(rd io.Reader) (*Replay, error) {
 
 	nNames := d.Count(4) // a name costs at least its u32 length prefix
 	tab := names.NewTable()
-	tab.Reserve(nNames)
+	tab.Reserve(cappedCap(nNames))
 	for i := 0; i < nNames && d.Err() == nil; i++ {
-		if id := tab.Intern(d.Str()); int(id) != i {
+		s := d.Str()
+		if d.Err() != nil {
+			break
+		}
+		if id := tab.Intern(s); int(id) != i {
 			return nil, fmt.Errorf("%w: duplicate table name at ID %d", ErrSnapshot, i)
 		}
 	}
@@ -182,73 +198,78 @@ func OpenSnapshot(rd io.Reader) (*Replay, error) {
 			// addresses, 2+2 ports, 1 TTL, 2 IPID, 1 resp, 4 name,
 			// 2 qtype, 2 txid, 4 size, 2 ancount, 2 visibleNS,
 			// 4 ingress).
-			n := d.CountAt(int(d.U32()), 44)
-			b.N = n
+			n := d.Count(44)
 			if d.Err() != nil {
 				break
 			}
-			b.Time = make([]simclock.Time, n)
-			for j := range b.Time {
-				b.Time[j] = simclock.Time(d.I64())
+			b.N = n
+			b.Time = make([]simclock.Time, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				b.Time = append(b.Time, simclock.Time(d.I64()))
 			}
-			b.Src = make([][4]byte, n)
-			for j := range b.Src {
-				copy(b.Src[j][:], d.Raw(4))
+			b.Src = make([][4]byte, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				var a [4]byte
+				d.RawInto(a[:])
+				b.Src = append(b.Src, a)
 			}
-			b.Dst = make([][4]byte, n)
-			for j := range b.Dst {
-				copy(b.Dst[j][:], d.Raw(4))
+			b.Dst = make([][4]byte, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				var a [4]byte
+				d.RawInto(a[:])
+				b.Dst = append(b.Dst, a)
 			}
-			b.SrcPort = make([]uint16, n)
-			for j := range b.SrcPort {
-				b.SrcPort[j] = d.U16()
+			b.SrcPort = make([]uint16, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				b.SrcPort = append(b.SrcPort, d.U16())
 			}
-			b.DstPort = make([]uint16, n)
-			for j := range b.DstPort {
-				b.DstPort[j] = d.U16()
+			b.DstPort = make([]uint16, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				b.DstPort = append(b.DstPort, d.U16())
 			}
-			b.IPTTL = make([]uint8, n)
-			for j := range b.IPTTL {
-				b.IPTTL[j] = d.U8()
+			b.IPTTL = make([]uint8, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				b.IPTTL = append(b.IPTTL, d.U8())
 			}
-			b.IPID = make([]uint16, n)
-			for j := range b.IPID {
-				b.IPID[j] = d.U16()
+			b.IPID = make([]uint16, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				b.IPID = append(b.IPID, d.U16())
 			}
-			b.Resp = make([]bool, n)
-			for j := range b.Resp {
-				b.Resp[j] = d.Bool()
+			b.Resp = make([]bool, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				b.Resp = append(b.Resp, d.Bool())
 			}
-			b.Name = make([]uint32, n)
-			for j := range b.Name {
-				b.Name[j] = d.U32()
-				if d.Err() == nil && int(b.Name[j]) >= tab.Len() {
-					return nil, fmt.Errorf("%w: name ID %d outside the %d-entry table", ErrSnapshot, b.Name[j], tab.Len())
+			b.Name = make([]uint32, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				id := d.U32()
+				if d.Err() == nil && int(id) >= tab.Len() {
+					return nil, fmt.Errorf("%w: name ID %d outside the %d-entry table", ErrSnapshot, id, tab.Len())
 				}
+				b.Name = append(b.Name, id)
 			}
-			b.QType = make([]dnswire.Type, n)
-			for j := range b.QType {
-				b.QType[j] = dnswire.Type(d.U16())
+			b.QType = make([]dnswire.Type, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				b.QType = append(b.QType, dnswire.Type(d.U16()))
 			}
-			b.TXID = make([]uint16, n)
-			for j := range b.TXID {
-				b.TXID[j] = d.U16()
+			b.TXID = make([]uint16, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				b.TXID = append(b.TXID, d.U16())
 			}
-			b.MsgSize = make([]int32, n)
-			for j := range b.MsgSize {
-				b.MsgSize[j] = int32(d.U32())
+			b.MsgSize = make([]int32, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				b.MsgSize = append(b.MsgSize, int32(d.U32()))
 			}
-			b.ANCount = make([]uint16, n)
-			for j := range b.ANCount {
-				b.ANCount[j] = d.U16()
+			b.ANCount = make([]uint16, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				b.ANCount = append(b.ANCount, d.U16())
 			}
-			b.VisibleNS = make([]uint16, n)
-			for j := range b.VisibleNS {
-				b.VisibleNS[j] = d.U16()
+			b.VisibleNS = make([]uint16, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				b.VisibleNS = append(b.VisibleNS, d.U16())
 			}
-			b.Ingress = make([]uint32, n)
-			for j := range b.Ingress {
-				b.Ingress[j] = d.U32()
+			b.Ingress = make([]uint32, 0, cappedCap(n))
+			for j := 0; j < n && d.Err() == nil; j++ {
+				b.Ingress = append(b.Ingress, d.U32())
 			}
 		}
 		// A sensor flow costs at least 49 bytes (8 sensor, 1 addr tag,
@@ -257,7 +278,7 @@ func OpenSnapshot(rd io.Reader) (*Replay, error) {
 		nSens := d.Count(49)
 		var sensors []ecosystem.SensorFlow
 		if nSens > 0 {
-			sensors = make([]ecosystem.SensorFlow, 0, nSens)
+			sensors = make([]ecosystem.SensorFlow, 0, cappedCap(nSens))
 		}
 		for j := 0; j < nSens && d.Err() == nil; j++ {
 			var sf ecosystem.SensorFlow
@@ -283,11 +304,9 @@ func OpenSnapshot(rd io.Reader) (*Replay, error) {
 		// later AddFrames may keep accumulating into them.
 		r.byDay[day.StartOfDay()].owned = b != nil
 	}
+	d.ExpectEOF()
 	if d.Err() != nil {
 		return nil, d.Err()
-	}
-	if d.Remaining() != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshot, d.Remaining())
 	}
 	return r, nil
 }

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Publish one benchmark trend point to the gh-pages branch.
+#
+#   bench_trend.sh HEAD_BENCH_TXT DELTA_TXT
+#
+# HEAD_BENCH_TXT is the raw `go test -bench` output of this commit;
+# DELTA_TXT is the benchstat comparison against the committed
+# BENCH_baseline.txt. The script appends a dated entry (newest first)
+# to bench/index.md on gh-pages and archives the raw run under
+# bench/data/, so the Pages site accumulates a browsable performance
+# trend of main. Run from the repository root with push rights to
+# gh-pages; the CI bench-trend job is the normal caller.
+set -euo pipefail
+
+head_txt=${1:?usage: bench_trend.sh HEAD_BENCH_TXT DELTA_TXT}
+delta_txt=${2:?usage: bench_trend.sh HEAD_BENCH_TXT DELTA_TXT}
+
+sha=$(git rev-parse --short HEAD)
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+worktree=$(mktemp -d)
+trap 'git worktree remove --force "$worktree" 2>/dev/null || rm -rf "$worktree"' EXIT
+
+if git fetch origin gh-pages 2>/dev/null; then
+    git worktree add "$worktree" -B gh-pages origin/gh-pages
+else
+    # First run: start gh-pages as an orphan branch with an empty tree.
+    git worktree add --detach "$worktree"
+    git -C "$worktree" checkout --orphan gh-pages
+    git -C "$worktree" rm -rfq . 2>/dev/null || true
+fi
+
+mkdir -p "$worktree/bench/data"
+cp "$head_txt" "$worktree/bench/data/${stamp}-${sha}.txt"
+
+entry=$(mktemp)
+{
+    echo "## ${stamp} — \`${sha}\`"
+    echo
+    echo "Raw run: [bench/data/${stamp}-${sha}.txt](data/${stamp}-${sha}.txt)"
+    echo
+    echo '```'
+    cat "$delta_txt"
+    echo '```'
+    echo
+} > "$entry"
+
+page="$worktree/bench/index.md"
+merged=$(mktemp)
+if [ -f "$page" ]; then
+    # Keep the title block (first two lines), insert the newest entry
+    # right under it.
+    { head -n 2 "$page"; cat "$entry"; tail -n +3 "$page"; } > "$merged"
+else
+    { echo "# dnsamp benchmark trend"; echo; cat "$entry"; } > "$merged"
+fi
+mv "$merged" "$page"
+rm -f "$entry"
+
+git -C "$worktree" add bench
+if git -C "$worktree" -c user.name="bench-trend" -c user.email="bench-trend@users.noreply.github.com" \
+    commit -m "bench trend: ${stamp} (${sha})"; then
+    git -C "$worktree" push origin gh-pages
+else
+    echo "bench_trend: nothing to publish"
+fi
