@@ -50,9 +50,13 @@ daemon-smoke:
 # Chaos smoke: the crash-recovery and fault-injection suite,
 # race-enabled. Replay through deterministic faults (fixed seed) must
 # match the clean run's detections; a lossy fault storm must leave
-# every datagram accounted for and /healthz back at ok.
+# every datagram accounted for and /healthz back at ok; and the
+# multi-source scheduler must keep two healthy sources byte-exact
+# while a third is corrupted, wedged, or panicking (three sources,
+# one faulty, fixed seed), surviving checkpoint/resume and log
+# rotation without double-counting a sample.
 chaos-smoke:
-	$(GO) test -race -count=1 -run 'TestServiceChaos|TestServiceCrashRecovery|TestTailServiceResume' ./internal/server/ ./internal/faults/
+	$(GO) test -race -count=1 -run 'TestServiceChaos|TestServiceCrashRecovery|TestTailServiceResume|TestMultiSource|TestTailRotateCheckpointResume' ./internal/server/ ./internal/faults/
 
 # Eval smoke: the scenario-catalog evaluation at the fixed golden
 # params/seed/grid must reproduce the committed score table byte for

@@ -18,11 +18,17 @@
 // datagrams over UDP from any number of collectors — or tailing a
 // datagram log with -tail — aggregating them in a sliding window, and
 // serving /detections, /stages, /sources, /metrics, /window, and
-// /healthz over HTTP. With -state it checkpoints its running state
-// periodically and at shutdown, and -resume continues from the newest
-// valid checkpoint after a crash or restart without double-counting a
-// sample. SIGINT/SIGTERM shuts it down gracefully (the backlog is
-// drained, the day in progress finalized, detections reported). See
+// /healthz over HTTP. With repeatable -input flags (or an -inputs
+// spec file) the daemon instead drives several heterogeneous sources
+// concurrently — UDP listeners, log tails, replay files, pcap,
+// synthetic fill — each under its own supervisor with restart/backoff
+// and fault isolation, merged by the -policy scheduler (round-robin,
+// backlog, or arrival-time merge-replay). With -state it checkpoints
+// its running state periodically and at shutdown, and -resume
+// continues from the newest valid checkpoint after a crash or restart
+// without double-counting a sample — per-input cursors included.
+// SIGINT/SIGTERM shuts it down gracefully (the backlog is drained,
+// the day in progress finalized, detections reported). See
 // docs/OPERATIONS.md for the full surface and the failure-handling
 // semantics.
 //
@@ -36,6 +42,7 @@
 //	ixpmon -sflow FILE [-follow] [-interval 5m] [-names 29]
 //	ixpmon -serve [-listen ADDR] [-http ADDR] [-window 7] [-timestamps wall|uptime]
 //	       [-state DIR [-resume] [-checkpoint-every 1m]] [-tail FILE]
+//	       [-input SPEC]... [-inputs FILE] [-policy round-robin|backlog|arrival]
 //	ixpmon -send FILE -to ADDR [-burst 64] [-pause 2ms]
 package main
 
@@ -53,6 +60,7 @@ import (
 
 	"dnsamp/internal/core"
 	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/ingest"
 	"dnsamp/internal/ixp"
 	"dnsamp/internal/server"
 	"dnsamp/internal/sflow"
@@ -155,6 +163,56 @@ func printStages(stages []server.StageTiming) {
 	}
 }
 
+// validateServeFlags rejects flag combinations that would silently do
+// nothing or contradict each other: multi-source flags outside -serve,
+// multi-source ingest combined with the single-input modes it
+// replaces, a scheduling policy with nothing to schedule, and uptime
+// timestamps on durable inputs (their datagram logs carry capture
+// time in the entry header; the Uptime field is zero there, so the
+// combination would collapse every sample onto second 0).
+func validateServeFlags(serve bool, inputs []ingest.Spec, inputsFile, tailPath, policy, timestamps string) error {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if !serve {
+		for _, name := range []string{"input", "inputs", "policy"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s has no effect without -serve", name)
+			}
+		}
+		return nil
+	}
+	multi := len(inputs) > 0
+	if inputsFile != "" && len(inputs) == 0 {
+		return fmt.Errorf("-inputs %s configures no sources: the file is empty", inputsFile)
+	}
+	if multi && tailPath != "" {
+		return fmt.Errorf("-input/-inputs and -tail are mutually exclusive: tail is the single-input mode; add tail:%s as an input instead", tailPath)
+	}
+	if multi && explicit["listen"] {
+		return fmt.Errorf("-listen has no effect with -input/-inputs: add udp://ADDR as an input instead")
+	}
+	if !multi {
+		if policy != "" {
+			return fmt.Errorf("-policy needs -input or -inputs: there is nothing to schedule")
+		}
+		return nil
+	}
+	switch policy {
+	case "", ingest.PolicyRoundRobin, ingest.PolicyBacklog, ingest.PolicyArrival:
+	default:
+		return fmt.Errorf("-policy %q: want %s, %s, or %s", policy, ingest.PolicyRoundRobin, ingest.PolicyBacklog, ingest.PolicyArrival)
+	}
+	if timestamps == "uptime" {
+		for _, sp := range inputs {
+			if sp.Durable() {
+				return fmt.Errorf("-timestamps uptime contradicts durable input %s: file-backed sources carry capture time natively", sp.ID)
+			}
+		}
+	}
+	return nil
+}
+
 // runServe runs the always-on service until interrupted.
 func runServe(cfg server.Config) error {
 	svc := server.NewService(cfg)
@@ -164,10 +222,21 @@ func runServe(cfg server.Config) error {
 	if from := svc.ResumedFrom(); from != "" {
 		fmt.Fprintf(os.Stderr, "ixpmon: resumed from %s\n", from)
 	}
-	if cfg.TailLog != "" {
+	switch {
+	case len(cfg.Inputs) > 0:
+		pol := cfg.Policy
+		if pol == "" {
+			pol = ingest.PolicyRoundRobin
+		}
+		fmt.Fprintf(os.Stderr, "ixpmon: driving %d supervised sources (%s policy), control surface on http://%s (window %dd, refresh %v)\n",
+			len(cfg.Inputs), pol, svc.HTTPAddr(), cfg.Window.Days, time.Duration(cfg.Window.Refresh)*time.Second)
+		for _, sp := range cfg.Inputs {
+			fmt.Fprintf(os.Stderr, "ixpmon:   input %s\n", sp.ID)
+		}
+	case cfg.TailLog != "":
 		fmt.Fprintf(os.Stderr, "ixpmon: tailing %s, control surface on http://%s (window %dd, refresh %v)\n",
 			cfg.TailLog, svc.HTTPAddr(), cfg.Window.Days, time.Duration(cfg.Window.Refresh)*time.Second)
-	} else {
+	default:
 		fmt.Fprintf(os.Stderr, "ixpmon: serving sflow on udp %s, control surface on http://%s (window %dd, refresh %v)\n",
 			svc.Addr(), svc.HTTPAddr(), cfg.Window.Days, time.Duration(cfg.Window.Refresh)*time.Second)
 	}
@@ -232,12 +301,36 @@ func main() {
 	resume := flag.Bool("resume", false, "with -serve -state: resume from the newest valid checkpoint and continue mid-stream")
 	ckptEvery := flag.Duration("checkpoint-every", time.Minute, "with -serve -state: periodic checkpoint cadence (<= 0 keeps only the shutdown checkpoint)")
 	tailPath := flag.String("tail", "", "with -serve: tail an sFlow datagram log instead of listening on UDP")
+	var inputSpecs []ingest.Spec
+	flag.Func("input", "with -serve: add a supervised ingest source (udp://ADDR, tail:PATH, replay:PATH, pcap:PATH, synthetic:[k=v,...]); repeatable", func(v string) error {
+		sp, err := ingest.ParseSpec(v)
+		if err != nil {
+			return err
+		}
+		inputSpecs = append(inputSpecs, sp)
+		return nil
+	})
+	inputsFile := flag.String("inputs", "", "with -serve: read supervised ingest sources from FILE, one spec per line (#-comments allowed); combines with -input")
+	policy := flag.String("policy", "", "with -serve -input/-inputs: source scheduling policy: round-robin (default), backlog, or arrival (capture-time merge-replay)")
 
 	sendPath := flag.String("send", "", "replay a datagram log over UDP to a -serve instance and exit")
 	sendTo := flag.String("to", "127.0.0.1:6343", "with -send: destination address")
 	burst := flag.Int("burst", 64, "with -send: datagrams per pacing burst (<= 0 sends flat out)")
 	pause := flag.Duration("pause", 2*time.Millisecond, "with -send: pause between bursts")
 	flag.Parse()
+
+	if *inputsFile != "" {
+		fromFile, err := ingest.ParseSpecFile(*inputsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ixpmon: -inputs:", err)
+			os.Exit(2)
+		}
+		inputSpecs = append(fromFile, inputSpecs...)
+	}
+	if err := validateServeFlags(*serve, inputSpecs, *inputsFile, *tailPath, *policy, *timestamps); err != nil {
+		fmt.Fprintln(os.Stderr, "ixpmon:", err)
+		os.Exit(2)
+	}
 
 	switch {
 	case *serve:
@@ -266,6 +359,8 @@ func main() {
 			Resume:          *resume,
 			CheckpointEvery: ce,
 			TailLog:         *tailPath,
+			Inputs:          inputSpecs,
+			Policy:          *policy,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ixpmon:", err)

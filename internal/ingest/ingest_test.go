@@ -1,0 +1,476 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		id   string
+		kind Kind
+	}{
+		{"udp://127.0.0.1:6343", "udp://127.0.0.1:6343", KindUDP},
+		{"udp://:0", "udp://:0", KindUDP},
+		{"tail:/var/log/sflow.log", "tail:/var/log/sflow.log", KindTail},
+		{"replay:rec.sflow", "replay:rec.sflow", KindReplay},
+		{"pcap:cap.pcap", "pcap:cap.pcap", KindPCAP},
+		{"synthetic", "synthetic:scale=0.05,days=1,seed=11", KindSynthetic},
+		{"synthetic:scale=0.1,seed=3", "synthetic:scale=0.1,days=1,seed=3", KindSynthetic},
+		{" tail:x ", "tail:x", KindTail},
+	}
+	for _, c := range cases {
+		sp, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if sp.ID != c.id || sp.Kind != c.kind {
+			t.Errorf("ParseSpec(%q) = {ID:%q Kind:%q}, want {%q %q}", c.in, sp.ID, sp.Kind, c.id, c.kind)
+		}
+		// The ID must be stable: re-parsing it reproduces itself.
+		sp2, err := ParseSpec(sp.ID)
+		if err != nil || sp2.ID != sp.ID {
+			t.Errorf("ParseSpec(%q) not a fixpoint: %+v, %v", sp.ID, sp2, err)
+		}
+	}
+	for _, bad := range []string{
+		"", "x", "udp://nope", "tail:", "ftp:whatever",
+		"synthetic:scale=-1", "synthetic:bogus=1", "synthetic:days=0",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	in := "# collectors\nudp://127.0.0.1:6343\n\n  replay:a.sflow\n"
+	specs, err := ParseSpecs(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Kind != KindUDP || specs[1].Kind != KindReplay {
+		t.Fatalf("ParseSpecs = %+v", specs)
+	}
+	if _, err := ParseSpecs(strings.NewReader("udp://\n")); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("expected line-numbered error, got %v", err)
+	}
+}
+
+// fakeRunner delivers a fixed ascending item schedule, skipping
+// anything at or before the resume cursor, then returns errAfter.
+type fakeRunner struct {
+	at       []simclock.Time
+	errAfter error
+}
+
+func (f *fakeRunner) run(t *task, cursor int64) error {
+	for i, at := range f.at {
+		c := int64(i + 1)
+		if c <= cursor {
+			continue
+		}
+		dg := &sflow.Datagram{Agent: [4]byte{203, 0, 113, byte(t.sv.idx)}, Seq: uint32(c)}
+		if !t.deliver(dg, at, c, 0) {
+			return t.ctx.Err()
+		}
+	}
+	return f.errAfter
+}
+
+// failRunner always fails without delivering anything.
+type failRunner struct{ n int }
+
+func (f *failRunner) run(t *task, _ int64) error {
+	f.n++
+	return fmt.Errorf("boom %d", f.n)
+}
+
+// wedgeRunner heartbeats once and then blocks on a channel, ignoring
+// cancellation — an uninterruptible read, the watchdog's prey.
+type wedgeRunner struct{ release chan struct{} }
+
+func (w *wedgeRunner) run(t *task, _ int64) error {
+	t.beat()
+	<-w.release
+	return errors.New("released")
+}
+
+// idleRunner stays healthy forever without ever delivering: a live,
+// silent feed.
+type idleRunner struct{}
+
+func (idleRunner) run(t *task, _ int64) error {
+	for {
+		t.beat()
+		if !sleepCtx(t.ctx, time.Millisecond) {
+			return t.ctx.Err()
+		}
+	}
+}
+
+// fakeSched builds a scheduler over placeholder replay specs and then
+// swaps in the given runners (the files are never opened).
+func fakeSched(t *testing.T, cfg Config, runners ...runner) *Scheduler {
+	t.Helper()
+	for i := range runners {
+		cfg.Specs = append(cfg.Specs, Spec{ID: fmt.Sprintf("replay:fake-%d", i), Kind: KindReplay})
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range runners {
+		s.sups[i].run = r
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func collectItems(t *testing.T, s *Scheduler, atLeast int, timeout time.Duration) []Item {
+	t.Helper()
+	var items []Item
+	deadline := time.After(timeout)
+	for {
+		select {
+		case it, ok := <-s.Items():
+			if !ok {
+				return items
+			}
+			items = append(items, it)
+		case <-deadline:
+			if len(items) >= atLeast {
+				return items
+			}
+			t.Fatalf("timeout with %d items (want >= %d)", len(items), atLeast)
+		}
+	}
+}
+
+func fastTuning() Tuning {
+	return Tuning{BufLen: 256, BackoffMin: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		StallAfter: 40 * time.Millisecond, MaxRestarts: 3}
+}
+
+// TestArrivalMerge: three time-sorted sources merge into one globally
+// time-sorted stream under the arrival policy, regardless of which
+// source's goroutine runs first.
+func TestArrivalMerge(t *testing.T) {
+	mk := func(start, step, n int) *fakeRunner {
+		f := &fakeRunner{}
+		for i := 0; i < n; i++ {
+			f.at = append(f.at, simclock.Time(start+i*step))
+		}
+		return f
+	}
+	// Interleaved, collectively dense, no cross-source ties.
+	s := fakeSched(t, Config{Policy: PolicyArrival, Tuning: fastTuning()},
+		mk(100, 3, 40), mk(101, 3, 40), mk(102, 3, 40))
+	s.Start()
+	items := collectItems(t, s, 120, 5*time.Second)
+	if len(items) != 120 {
+		t.Fatalf("got %d items, want 120", len(items))
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i].At.Before(items[i-1].At) {
+			t.Fatalf("out of order at %d: %v after %v (src %s)", i, items[i].At, items[i-1].At, items[i].SourceID)
+		}
+	}
+}
+
+// TestArrivalBoundedWait: a live-but-silent source cannot hold the
+// merge hostage — after the bounded wait, buffered datagrams flow.
+func TestArrivalBoundedWait(t *testing.T) {
+	f := &fakeRunner{at: []simclock.Time{10, 20, 30}}
+	s := fakeSched(t, Config{Policy: PolicyArrival, Tuning: fastTuning()}, f, idleRunner{})
+	s.Start()
+	deadline := time.After(3 * time.Second)
+	for got := 0; got < 3; {
+		select {
+		case _, ok := <-s.Items():
+			if !ok {
+				t.Fatal("stream closed early")
+			}
+			got++
+		case <-deadline:
+			t.Fatalf("merge still held after 3s with %d items released", got)
+		}
+	}
+}
+
+// TestRoundRobinDrainsAll: both sources' items all arrive, per-source
+// order preserved.
+func TestRoundRobinDrainsAll(t *testing.T) {
+	a := &fakeRunner{at: []simclock.Time{1, 2, 3, 4, 5}}
+	b := &fakeRunner{at: []simclock.Time{6, 7, 8}}
+	s := fakeSched(t, Config{Tuning: fastTuning()}, a, b)
+	s.Start()
+	items := collectItems(t, s, 8, 5*time.Second)
+	var gotA, gotB []int64
+	for _, it := range items {
+		if it.SourceID == "replay:fake-0" {
+			gotA = append(gotA, it.Cursor)
+		} else {
+			gotB = append(gotB, it.Cursor)
+		}
+	}
+	if !slices.Equal(gotA, []int64{1, 2, 3, 4, 5}) || !slices.Equal(gotB, []int64{1, 2, 3}) {
+		t.Fatalf("per-source order broken: a=%v b=%v", gotA, gotB)
+	}
+}
+
+// TestQuarantineAfterRepeatedFailure: a source that keeps failing
+// without progress is parked with a reason; the stream still ends
+// cleanly and a healthy neighbour is untouched.
+func TestQuarantineAfterRepeatedFailure(t *testing.T) {
+	good := &fakeRunner{at: []simclock.Time{1, 2, 3}}
+	s := fakeSched(t, Config{Tuning: fastTuning()}, good, &failRunner{})
+	s.Start()
+	items := collectItems(t, s, 3, 5*time.Second)
+	if len(items) != 3 {
+		t.Fatalf("healthy source delivered %d items, want 3", len(items))
+	}
+	snap := s.Snapshot()
+	if snap[0].State != "done" {
+		t.Errorf("good source state = %s, want done", snap[0].State)
+	}
+	bad := snap[1]
+	if bad.State != "quarantined" {
+		t.Fatalf("bad source state = %s, want quarantined (%+v)", bad.State, bad)
+	}
+	if bad.Restarts < 2 || bad.QuarantineReason == "" || !strings.Contains(bad.QuarantineReason, "boom") {
+		t.Errorf("quarantine detail wrong: %+v", bad)
+	}
+}
+
+// TestStallWatchdog: a wedged source (uninterruptible read, no
+// heartbeat) is stall-restarted, abandoned when cancel cannot reach
+// it, and finally quarantined — without stopping the scheduler.
+func TestStallWatchdog(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	tun := fastTuning()
+	tun.MaxRestarts = 2
+	s := fakeSched(t, Config{Tuning: tun}, &wedgeRunner{release: release})
+	s.Start()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := s.Snapshot()[0]
+		if snap.State == "quarantined" {
+			if snap.Stalls < 1 {
+				t.Fatalf("no stalls recorded: %+v", snap)
+			}
+			if !strings.Contains(snap.QuarantineReason, "stalled") {
+				t.Fatalf("reason %q does not mention stall", snap.QuarantineReason)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never quarantined: %+v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDeliverPanicContainment: a panic while handling one datagram
+// costs exactly that datagram — poisoned with its source ID — and the
+// source keeps delivering.
+func TestDeliverPanicContainment(t *testing.T) {
+	var mu sync.Mutex
+	var poisoned []string
+	f := &fakeRunner{at: []simclock.Time{1, 2, 3, 4}}
+	cfg := Config{
+		Tuning: fastTuning(),
+		FaultPanic: func(id string, dg *sflow.Datagram) bool {
+			return dg.Seq == 2
+		},
+		Poison: func(id string, dg *sflow.Datagram, cause any) {
+			mu.Lock()
+			poisoned = append(poisoned, fmt.Sprintf("%s#%d", id, dg.Seq))
+			mu.Unlock()
+		},
+	}
+	s := fakeSched(t, cfg, f)
+	s.Start()
+	items := collectItems(t, s, 3, 5*time.Second)
+	if len(items) != 3 {
+		t.Fatalf("got %d items, want 3 (one poisoned)", len(items))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !slices.Equal(poisoned, []string{"replay:fake-0#2"}) {
+		t.Fatalf("poisoned = %v", poisoned)
+	}
+	snap := s.Snapshot()[0]
+	if snap.Panics != 1 || snap.Emitted != 3 {
+		t.Fatalf("stats: %+v", snap)
+	}
+}
+
+// writeTestLog writes a datagram log with n one-sample entries at
+// 1-second spacing and returns its path.
+func writeTestLog(t *testing.T, n int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	lw, err := sflow.NewLogWriter(&buf, [4]byte{198, 51, 100, 7}, sflow.DefaultRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := bytes.Repeat([]byte{0xab}, 60)
+	for i := 0; i < n; i++ {
+		rec := sflow.Record{Time: simclock.Time(1000 + i), Frame: frame, FrameLen: 60, Seq: uint64(i + 1)}
+		if err := lw.Add(rec, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rec.sflow")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReplayResume: a replay source restarted from a mid-file cursor
+// delivers exactly the remainder, nothing twice.
+func TestReplayResume(t *testing.T) {
+	const n = 20
+	path := writeTestLog(t, n)
+	sp, err := ParseSpec("replay:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runAll := func(cursors map[string]int64) []Item {
+		s, err := New(Config{Specs: []Spec{sp}, Tuning: fastTuning(), Cursors: cursors})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Stop()
+		s.Start()
+		return collectItems(t, s, 0, 5*time.Second)
+	}
+
+	full := runAll(nil)
+	if len(full) != n {
+		t.Fatalf("full run: %d datagrams, want %d", len(full), n)
+	}
+	const k = 7
+	rest := runAll(map[string]int64{sp.ID: full[k-1].Cursor})
+	if len(rest) != n-k {
+		t.Fatalf("resumed run: %d datagrams, want %d", len(rest), n-k)
+	}
+	if rest[0].At != full[k].At || rest[0].Cursor != full[k].Cursor {
+		t.Fatalf("resume misaligned: got (%v,%d), want (%v,%d)", rest[0].At, rest[0].Cursor, full[k].At, full[k].Cursor)
+	}
+	for i, it := range rest {
+		if it.Cursor != full[k+i].Cursor {
+			t.Fatalf("entry %d: cursor %d, want %d", i, it.Cursor, full[k+i].Cursor)
+		}
+	}
+}
+
+// TestSourceConservation: per-source accounting closes — every datagram
+// read is a parse error, a poisoned panic, or an emitted item.
+func TestSourceConservation(t *testing.T) {
+	path := writeTestLog(t, 10)
+	// Corrupt the body of one entry in place: flip bytes well inside
+	// the first datagram's payload (past the 12-byte file header and
+	// the 12-byte entry header).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 30; i < 40; i++ {
+		raw[i] ^= 0xff
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := ParseSpec("replay:" + path)
+	s, err := New(Config{Specs: []Spec{sp}, Tuning: fastTuning()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	s.Start()
+	items := collectItems(t, s, 0, 5*time.Second)
+	snap := s.Snapshot()[0]
+	if snap.State != "done" {
+		t.Fatalf("state = %s, want done (%+v)", snap.State, snap)
+	}
+	if snap.ParseErrors == 0 {
+		t.Fatalf("corruption produced no parse errors: %+v", snap)
+	}
+	if got := snap.Received; got != snap.ParseErrors+snap.Panics+snap.Emitted {
+		t.Fatalf("conservation: received %d != parse %d + panics %d + emitted %d",
+			got, snap.ParseErrors, snap.Panics, snap.Emitted)
+	}
+	if uint64(len(items)) != snap.Emitted {
+		t.Fatalf("emitted %d but %d items seen", snap.Emitted, len(items))
+	}
+}
+
+// TestBacklogPolicy: the deepest buffer drains first.
+func TestBacklogPolicy(t *testing.T) {
+	a := &fakeRunner{at: []simclock.Time{1}}
+	b := &fakeRunner{at: []simclock.Time{2, 3, 4, 5, 6, 7}}
+	s := fakeSched(t, Config{Policy: PolicyBacklog, Tuning: fastTuning()}, a, b)
+	// Let both runners finish filling their buffers before dispatching
+	// so the depth comparison is deterministic.
+	for _, sv := range s.sups {
+		s.wg.Add(1)
+		go sv.supervise()
+	}
+	waitFor := func(ok func() bool) {
+		deadline := time.Now().Add(5 * time.Second)
+		for !ok() {
+			if time.Now().After(deadline) {
+				t.Fatal("timeout waiting for buffers")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.sups[0].buf) == 1 && len(s.sups[1].buf) == 6
+	})
+	s.wg.Add(2)
+	go s.watchdog()
+	go s.dispatch()
+	items := collectItems(t, s, 7, 5*time.Second)
+	if len(items) != 7 {
+		t.Fatalf("got %d items, want 7", len(items))
+	}
+	if items[0].SourceID != "replay:fake-1" {
+		t.Fatalf("first item from %s, want the deeper source", items[0].SourceID)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("no sources: expected error")
+	}
+	sp, _ := ParseSpec("tail:x")
+	if _, err := New(Config{Specs: []Spec{sp, sp}}); err == nil {
+		t.Error("duplicate IDs: expected error")
+	}
+	if _, err := New(Config{Specs: []Spec{sp}, Policy: "wat"}); err == nil {
+		t.Error("unknown policy: expected error")
+	}
+}

@@ -1,0 +1,560 @@
+// Scheduler and supervisors: the concurrency heart of multi-source
+// ingest. Each configured source runs under its own Supervisor — a
+// restart loop owning the source's lifecycle state machine
+// (starting → healthy → backoff → quarantined / done / stopped) — and
+// feeds a bounded per-source buffer. A single dispatcher drains the
+// buffers into the output channel in whatever order the configured
+// policy picks; a watchdog restarts sources that stop making progress.
+// All supervisors share one failure philosophy: a broken source is
+// retried with capped-exponential backoff, a wedged one is cancelled
+// and (if need be) abandoned, a hopeless one is parked with a reason —
+// and none of it is ever allowed to become its neighbours' problem.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+)
+
+// Scheduler drives the configured sources and merges their datagrams
+// into Items(). Construct with New, then Start; Stop is idempotent.
+type Scheduler struct {
+	cfg Config
+	tun Tuning
+	pol policy
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	sups []*Supervisor
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	out    chan Item
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// New validates the configuration and builds a scheduler (sources do
+// not start until Start).
+func New(cfg Config) (*Scheduler, error) {
+	if len(cfg.Specs) == 0 {
+		return nil, errors.New("ingest: no sources configured")
+	}
+	seen := make(map[string]bool, len(cfg.Specs))
+	for _, sp := range cfg.Specs {
+		if seen[sp.ID] {
+			return nil, fmt.Errorf("ingest: duplicate source %q", sp.ID)
+		}
+		seen[sp.ID] = true
+	}
+	s := &Scheduler{cfg: cfg, tun: cfg.Tuning.withDefaults()}
+	// Runners receive &s.cfg, so they must see the defaulted knobs too:
+	// a zero StallAfter would give the UDP runner an already-expired
+	// read deadline on every loop — a socket that can never hear.
+	s.cfg.Tuning = s.tun
+	switch cfg.Policy {
+	case "", PolicyRoundRobin:
+		s.pol = &roundRobin{last: -1}
+	case PolicyBacklog:
+		s.pol = backlogWeighted{}
+	case PolicyArrival:
+		s.pol = arrivalOrder{}
+	default:
+		return nil, fmt.Errorf("ingest: unknown policy %q (want %s, %s, or %s)",
+			cfg.Policy, PolicyRoundRobin, PolicyBacklog, PolicyArrival)
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.out = make(chan Item)
+	for i, sp := range cfg.Specs {
+		sv := &Supervisor{s: s, idx: i, spec: sp, run: newRunner(sp, &s.cfg)}
+		sv.cursor.Store(cfg.Cursors[sp.ID])
+		s.sups = append(s.sups, sv)
+	}
+	return s, nil
+}
+
+// Start launches the supervisors, the watchdog, and the dispatcher.
+func (s *Scheduler) Start() {
+	for _, sv := range s.sups {
+		s.wg.Add(1)
+		go sv.supervise()
+	}
+	s.wg.Add(2)
+	go s.watchdog()
+	go s.dispatch()
+}
+
+// Items is the merged output stream. It is closed when every source is
+// finished (done, quarantined, or stopped) and the buffers are drained,
+// or when the scheduler is stopped.
+func (s *Scheduler) Items() <-chan Item { return s.out }
+
+// Stop cancels every source and waits for all scheduler goroutines.
+// Buffered, undispatched items are discarded (they were never consumed,
+// so cursors never covered them).
+func (s *Scheduler) Stop() {
+	s.once.Do(func() {
+		s.cancel()
+		s.cond.Broadcast()
+		s.wg.Wait()
+	})
+}
+
+// Snapshot reports every supervisor's externally visible state, in
+// configuration order.
+func (s *Scheduler) Snapshot() []SupervisorStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SupervisorStats, len(s.sups))
+	for i, sv := range s.sups {
+		st := SupervisorStats{
+			ID:          sv.spec.ID,
+			Kind:        string(sv.spec.Kind),
+			State:       State(sv.state.Load()).String(),
+			Received:    sv.received.Load(),
+			ParseErrors: sv.parseErrors.Load(),
+			Emitted:     sv.emitted.Load(),
+			Panics:      sv.panics.Load(),
+			Restarts:    sv.restarts.Load(),
+			Stalls:      sv.stalls.Load(),
+			Buffered:    len(sv.buf),
+			Cursor:      sv.cursor.Load(),
+			Epoch:       sv.epoch.Load(),
+			LastError:   sv.lastErr,
+		}
+		if a, ok := sv.addr.Load().(string); ok {
+			st.Addr = a
+		}
+		st.QuarantineReason = sv.quarReason
+		out[i] = st
+	}
+	return out
+}
+
+// Addr reports the bound listen address of a UDP source ("" until it
+// has bound). Test and logging convenience.
+func (s *Scheduler) Addr(id string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sv := range s.sups {
+		if sv.spec.ID == id {
+			if a, ok := sv.addr.Load().(string); ok {
+				return a
+			}
+			return ""
+		}
+	}
+	return ""
+}
+
+// Supervisor owns one source: its runner, its restart loop, its
+// lifecycle state, and its bounded buffer.
+type Supervisor struct {
+	s    *Scheduler
+	idx  int
+	spec Spec
+	run  runner
+
+	// Guarded by s.mu.
+	buf        []Item
+	lastErr    string
+	quarReason string
+	cancelRun  context.CancelFunc
+
+	state     atomic.Int32
+	stallFlag atomic.Bool
+	lastBeat  atomic.Int64 // unix nanos of last progress heartbeat
+	gen       atomic.Uint64
+
+	received, parseErrors, emitted atomic.Uint64
+	panics, restarts, stalls       atomic.Uint64
+	cursor                         atomic.Int64
+	epoch                          atomic.Uint64
+	addr                           atomic.Value // string
+}
+
+func (sv *Supervisor) setState(st State) {
+	sv.state.Store(int32(st))
+	sv.s.cond.Broadcast()
+}
+
+// waiting reports whether the arrival-order merge should hold for this
+// source's next datagram: it is (or will again be) producing.
+func (sv *Supervisor) waiting() bool {
+	switch State(sv.state.Load()) {
+	case StateStarting, StateHealthy, StateBackoff:
+		return true
+	}
+	return false
+}
+
+// supervise is the per-source restart loop: run the adapter, classify
+// the outcome, back off, try again — or park the source for good.
+func (sv *Supervisor) supervise() {
+	defer sv.s.wg.Done()
+	tun := sv.s.tun
+	backoff := tun.BackoffMin
+	failStreak := 0
+	var epochBase uint64
+
+	for {
+		if sv.s.ctx.Err() != nil {
+			sv.setState(StateStopped)
+			return
+		}
+		gen := sv.gen.Add(1)
+		runCtx, cancel := context.WithCancel(sv.s.ctx)
+		sv.s.mu.Lock()
+		sv.cancelRun = cancel
+		sv.s.mu.Unlock()
+		sv.setState(StateStarting)
+		sv.lastBeat.Store(time.Now().UnixNano())
+		before := sv.emitted.Load()
+
+		t := &task{sv: sv, ctx: runCtx, gen: gen, epochBase: epochBase}
+		resCh := make(chan error, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					resCh <- fmt.Errorf("runner panic: %v", p)
+				}
+			}()
+			resCh <- sv.run.run(t, sv.cursor.Load())
+		}()
+
+		var err error
+		select {
+		case err = <-resCh:
+		case <-runCtx.Done():
+			// Cancelled (watchdog stall or shutdown): grace-wait for the
+			// runner to notice, then abandon the goroutine — a read so
+			// wedged that cancel cannot reach it is exactly the failure
+			// the watchdog exists for. Stale-generation checks in the
+			// task keep an abandoned runner from ever delivering again.
+			grace := tun.StallAfter
+			if grace > time.Second {
+				grace = time.Second
+			}
+			select {
+			case err = <-resCh:
+			case <-time.After(grace):
+				err = errors.New("runner unresponsive after cancel")
+			}
+		}
+		cancel()
+		sv.s.mu.Lock()
+		sv.cancelRun = nil
+		sv.s.mu.Unlock()
+
+		stalled := sv.stallFlag.Swap(false)
+		progressed := sv.emitted.Load() > before
+		// The next run's epochs must exceed anything already emitted:
+		// a restarted tailer counts reopens from zero again.
+		epochBase = sv.epoch.Load() + 1
+
+		switch {
+		case sv.s.ctx.Err() != nil:
+			sv.setState(StateStopped)
+			return
+		case err == nil:
+			sv.setState(StateDone)
+			return
+		}
+
+		sv.restarts.Add(1)
+		if stalled {
+			sv.stalls.Add(1)
+			err = fmt.Errorf("stalled: no progress within %v (%v)", tun.StallAfter, err)
+		}
+		sv.s.mu.Lock()
+		sv.lastErr = err.Error()
+		sv.s.mu.Unlock()
+
+		if progressed {
+			failStreak, backoff = 0, tun.BackoffMin
+		}
+		failStreak++
+		if failStreak >= tun.MaxRestarts {
+			sv.s.mu.Lock()
+			sv.quarReason = fmt.Sprintf("%d consecutive failures without progress; last: %s",
+				failStreak, err.Error())
+			sv.s.mu.Unlock()
+			sv.setState(StateQuarantined)
+			return
+		}
+
+		sv.setState(StateBackoff)
+		if !sleepCtx(sv.s.ctx, backoff) {
+			sv.setState(StateStopped)
+			return
+		}
+		if backoff *= 2; backoff > tun.BackoffMax {
+			backoff = tun.BackoffMax
+		}
+	}
+}
+
+// task is the handle one run of a runner reports through. Every method
+// is generation-checked so a run the supervisor has abandoned (or
+// replaced) can no longer touch shared state.
+type task struct {
+	sv        *Supervisor
+	ctx       context.Context
+	gen       uint64
+	epochBase uint64
+}
+
+func (t *task) live() bool { return t.sv.gen.Load() == t.gen }
+
+// beat records a progress heartbeat: the source is alive even if no
+// datagram arrived (an idle UDP socket, a tail at end of log).
+func (t *task) beat() {
+	if !t.live() {
+		return
+	}
+	t.sv.lastBeat.Store(time.Now().UnixNano())
+	if State(t.sv.state.Load()) == StateStarting {
+		t.sv.setState(StateHealthy)
+	}
+}
+
+// recv counts one datagram read from the input (before parsing).
+func (t *task) recv() {
+	if t.live() {
+		t.sv.received.Add(1)
+	}
+}
+
+// parseError counts one unparseable datagram. It beats: a feed
+// yielding garbage is alive — bad content is accounting, not failure.
+func (t *task) parseError() {
+	if !t.live() {
+		return
+	}
+	t.sv.parseErrors.Add(1)
+	t.beat()
+}
+
+// setAddr publishes the source's bound listen address.
+func (t *task) setAddr(a string) {
+	if t.live() {
+		t.sv.addr.Store(a)
+	}
+}
+
+// deliver hands one parsed datagram to the dispatcher, blocking while
+// the source's buffer is full. It returns false when the run should
+// stop (cancelled or superseded). A panic while delivering — the
+// per-datagram containment boundary — quarantines that datagram to the
+// poison sink and keeps the source running.
+func (t *task) deliver(dg *sflow.Datagram, at simclock.Time, cursor int64, relEpoch uint64) (ok bool) {
+	sv := t.sv
+	defer func() {
+		if p := recover(); p != nil {
+			sv.panics.Add(1)
+			if sv.s.cfg.Poison != nil {
+				sv.s.cfg.Poison(sv.spec.ID, dg, p)
+			}
+			ok = true // the entry is quarantined; the source lives on
+		}
+	}()
+	if !t.live() {
+		return false
+	}
+	if fp := sv.s.cfg.FaultPanic; fp != nil && fp(sv.spec.ID, dg) {
+		panic(fmt.Sprintf("ingest: injected delivery fault (%s)", sv.spec.ID))
+	}
+	t.beat()
+
+	epoch := t.epochBase + relEpoch
+	it := Item{
+		SourceID: sv.spec.ID,
+		Kind:     sv.spec.Kind,
+		Durable:  sv.spec.Durable(),
+		Dg:       dg,
+		At:       at,
+		Cursor:   cursor,
+		Epoch:    epoch,
+	}
+	s := sv.s
+	s.mu.Lock()
+	for len(sv.buf) >= s.tun.BufLen {
+		if t.ctx.Err() != nil || !t.live() {
+			s.mu.Unlock()
+			return false
+		}
+		s.cond.Wait()
+	}
+	sv.buf = append(sv.buf, it)
+	s.mu.Unlock()
+	sv.emitted.Add(1)
+	sv.cursor.Store(cursor)
+	sv.epoch.Store(epoch)
+	s.cond.Broadcast()
+	return true
+}
+
+// dispatch is the single consumer of every source buffer: it asks the
+// policy who goes next and forwards that source's head item.
+func (s *Scheduler) dispatch() {
+	defer s.wg.Done()
+	defer close(s.out)
+	var waitStart time.Time
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.ctx.Err() != nil {
+			return
+		}
+		forced := !waitStart.IsZero() && time.Since(waitStart) > s.tun.StallAfter
+		idx := s.pol.pick(s.sups, forced)
+		if idx >= 0 {
+			sv := s.sups[idx]
+			it := sv.buf[0]
+			sv.buf = sv.buf[1:]
+			if len(sv.buf) == 0 {
+				sv.buf = nil
+			}
+			waitStart = time.Time{}
+			s.cond.Broadcast() // a buffer slot freed; wake blocked producers
+			s.mu.Unlock()
+			select {
+			case s.out <- it:
+				s.mu.Lock()
+			case <-s.ctx.Done():
+				s.mu.Lock()
+				return
+			}
+			continue
+		}
+
+		buffered := false
+		parked := true
+		for _, sv := range s.sups {
+			if len(sv.buf) > 0 {
+				buffered = true
+			}
+			if sv.waiting() {
+				parked = false
+			}
+		}
+		if !buffered && parked {
+			return // every source finished and drained: end of stream
+		}
+		if buffered && waitStart.IsZero() {
+			// The policy is holding buffered data back (arrival-order
+			// merge waiting on a lagging source); bound that wait.
+			waitStart = time.Now()
+		}
+		s.cond.Wait()
+	}
+}
+
+// watchdog restarts sources that stopped making progress: running
+// state, empty buffer (so it is not consumer backpressure), and no
+// heartbeat within the stall deadline.
+func (s *Scheduler) watchdog() {
+	defer s.wg.Done()
+	tick := s.tun.StallAfter / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	tk := time.NewTicker(tick)
+	defer tk.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-tk.C:
+		}
+		now := time.Now().UnixNano()
+		s.mu.Lock()
+		for _, sv := range s.sups {
+			st := State(sv.state.Load())
+			if st != StateStarting && st != StateHealthy {
+				continue
+			}
+			if len(sv.buf) > 0 {
+				continue // backlogged, not stalled
+			}
+			if now-sv.lastBeat.Load() <= int64(s.tun.StallAfter) {
+				continue
+			}
+			sv.stallFlag.Store(true)
+			if sv.cancelRun != nil {
+				sv.cancelRun()
+			}
+		}
+		s.mu.Unlock()
+		s.cond.Broadcast() // drive the dispatcher's bounded-wait clock
+	}
+}
+
+// policy picks which source's head item the dispatcher forwards next.
+// Called with the scheduler lock held; returns -1 to wait. forced is
+// set when the dispatcher has already waited out the bounded-wait
+// deadline: the policy must then release buffered data if it has any.
+type policy interface {
+	pick(sups []*Supervisor, forced bool) int
+}
+
+// roundRobin cycles fairly over sources with buffered datagrams.
+type roundRobin struct{ last int }
+
+func (p *roundRobin) pick(sups []*Supervisor, _ bool) int {
+	n := len(sups)
+	for i := 1; i <= n; i++ {
+		idx := (p.last + i) % n
+		if len(sups[idx].buf) > 0 {
+			p.last = idx
+			return idx
+		}
+	}
+	return -1
+}
+
+// backlogWeighted always drains the deepest buffer first.
+type backlogWeighted struct{}
+
+func (backlogWeighted) pick(sups []*Supervisor, _ bool) int {
+	best, bestN := -1, 0
+	for i, sv := range sups {
+		if n := len(sv.buf); n > bestN {
+			best, bestN = i, n
+		}
+	}
+	return best
+}
+
+// arrivalOrder emits datagrams in global capture-time order: a k-way
+// merge over the source heads. The merge frontier waits until every
+// source that may still produce has presented its next datagram —
+// unless forced, which bounds how long a lagging source can hold
+// everyone else's buffered data back.
+type arrivalOrder struct{}
+
+func (arrivalOrder) pick(sups []*Supervisor, forced bool) int {
+	best := -1
+	var bestAt simclock.Time
+	for i, sv := range sups {
+		if len(sv.buf) == 0 {
+			if sv.waiting() && !forced {
+				return -1 // hold the merge for this source's next datagram
+			}
+			continue
+		}
+		if at := sv.buf[0].At; best < 0 || at.Before(bestAt) {
+			best, bestAt = i, at
+		}
+	}
+	return best
+}

@@ -1,0 +1,431 @@
+// Source adapters: one runner per Spec kind, each a blocking read loop
+// driven by its supervisor. Runners report through the task handle —
+// recv/parseError/beat/deliver — and return nil when a finite input is
+// drained, or an error when the input failed (the supervisor decides
+// restart vs quarantine). A runner must be restartable: run is called
+// again after backoff with the cursor of the last datagram actually
+// delivered, and must not re-deliver anything at or before it.
+package ingest
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"slices"
+	"time"
+
+	"dnsamp/internal/ecosystem"
+	"dnsamp/internal/pcap"
+	"dnsamp/internal/sflow"
+	"dnsamp/internal/simclock"
+	"dnsamp/internal/topology"
+)
+
+// runner is one source adapter. Implementations keep state that must
+// survive restarts (a pinned listen address, a built campaign) on the
+// receiver; everything per-attempt lives in run.
+type runner interface {
+	run(t *task, cursor int64) error
+}
+
+func newRunner(sp Spec, cfg *Config) runner {
+	switch sp.Kind {
+	case KindUDP:
+		return &udpRunner{sp: sp, cfg: cfg, addr: sp.Addr}
+	case KindTail:
+		return &tailRunner{sp: sp, cfg: cfg}
+	case KindReplay:
+		return &replayRunner{sp: sp, cfg: cfg}
+	case KindPCAP:
+		return &pcapRunner{sp: sp, cfg: cfg}
+	default:
+		return &synthRunner{sp: sp, cfg: cfg}
+	}
+}
+
+// sleepCtx sleeps d or until ctx is done; false means ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-tm.C:
+		return true
+	}
+}
+
+// countingReader counts bytes consumed from the wrapped stream — the
+// byte-offset cursor source for replay inputs. It sits above the
+// WrapReader fault seam so the cursor always reflects what was really
+// consumed, injected short reads included.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	m, err := c.r.Read(p)
+	c.n += int64(m)
+	return m, err
+}
+
+// udpRunner listens for sFlow datagrams on a UDP socket. It has no
+// durable input and no cursor: a datagram that was never read is gone
+// (that loss is what the per-agent sequence accounting downstream
+// measures). An ephemeral listen address (":0") is pinned to the
+// concrete bound address on first bind so restarts rebind the same
+// port and senders keep working across a supervisor restart.
+type udpRunner struct {
+	sp   Spec
+	cfg  *Config
+	addr string
+}
+
+func (u *udpRunner) run(t *task, _ int64) error {
+	listen := u.cfg.ListenPacket
+	if listen == nil {
+		listen = func(a string) (net.PacketConn, error) { return net.ListenPacket("udp", a) }
+	}
+	conn, err := listen(u.addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if u.addr == u.sp.Addr {
+		u.addr = conn.LocalAddr().String()
+	}
+	t.setAddr(conn.LocalAddr().String())
+	stop := context.AfterFunc(t.ctx, func() { conn.Close() })
+	defer stop()
+
+	// Wake from blocking reads often enough to heartbeat while idle:
+	// an idle socket is not a stalled one.
+	beatEvery := u.cfg.Tuning.StallAfter / 4
+	if beatEvery > 500*time.Millisecond {
+		beatEvery = 500 * time.Millisecond
+	}
+	buf := make([]byte, 1<<16)
+	for {
+		conn.SetReadDeadline(time.Now().Add(beatEvery))
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			if t.ctx.Err() != nil {
+				return t.ctx.Err()
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				t.beat()
+				continue
+			}
+			return err
+		}
+		t.beat()
+		t.recv()
+		dg, perr := sflow.ParseDatagram(buf[:n])
+		if perr != nil {
+			t.parseError()
+			continue
+		}
+		at := simclock.FromTime(time.Now())
+		if u.cfg.TimeFromUptime {
+			at = simclock.Time(dg.Uptime)
+		}
+		if !t.deliver(dg, at, 0, 0) {
+			return t.ctx.Err()
+		}
+	}
+}
+
+// tailRunner follows a growing datagram log through sflow.Tailer,
+// surviving rotation and truncation. The cursor is the byte offset
+// past the last delivered entry in the *current* file incarnation;
+// the epoch (Tailer.Reopens, offset by the supervisor's restart base)
+// tells the consumer when offsets stopped being comparable.
+type tailRunner struct {
+	sp  Spec
+	cfg *Config
+}
+
+func (r *tailRunner) run(t *task, cursor int64) error {
+	tl, err := sflow.NewTailer(r.sp.Path, cursor)
+	if err != nil {
+		return err
+	}
+	defer tl.Close()
+
+	pollMax := r.cfg.Tuning.StallAfter / 4
+	if pollMax > time.Second {
+		pollMax = time.Second
+	}
+	poll := r.cfg.Tuning.BackoffMin
+	if poll > pollMax {
+		poll = pollMax
+	}
+	pollMin := poll
+	for {
+		if t.ctx.Err() != nil {
+			return t.ctx.Err()
+		}
+		at, dg, err := tl.NextEntry()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				t.beat() // idle at end of log, not stalled
+				if !sleepCtx(t.ctx, poll) {
+					return t.ctx.Err()
+				}
+				if poll *= 2; poll > pollMax {
+					poll = pollMax
+				}
+				continue
+			}
+			if errors.Is(err, sflow.ErrDatagram) {
+				t.recv()
+				t.parseError() // one bad body; the tailer resynced
+				continue
+			}
+			return err // framing gone, or the file went unreadable
+		}
+		poll = pollMin
+		t.recv()
+		if r.cfg.TimeFromUptime {
+			at = simclock.Time(dg.Uptime)
+		}
+		if !t.deliver(dg, at, tl.Offset(), tl.Reopens()) {
+			return t.ctx.Err()
+		}
+	}
+}
+
+// replayRunner reads a datagram log start to end and completes. The
+// cursor is the byte offset past the last delivered entry; on restart
+// it skips forward by draining the (possibly fault-wrapped) stream so
+// injected faults see the same byte positions a fresh run would.
+type replayRunner struct {
+	sp  Spec
+	cfg *Config
+}
+
+func (r *replayRunner) run(t *task, cursor int64) error {
+	f, err := os.Open(r.sp.Path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var src io.Reader = f
+	if r.cfg.WrapReader != nil {
+		src = r.cfg.WrapReader(r.sp.ID, src)
+	}
+	cr := &countingReader{r: src}
+	lr, err := sflow.NewLogReader(cr)
+	if err != nil {
+		return err
+	}
+	if cursor > cr.n {
+		if _, err := io.CopyN(io.Discard, cr, cursor-cr.n); err != nil {
+			return fmt.Errorf("ingest: %s: seeking to cursor %d: %w", r.sp.ID, cursor, err)
+		}
+	}
+	for {
+		if t.ctx.Err() != nil {
+			return t.ctx.Err()
+		}
+		at, dg, err := lr.NextEntry()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // drained
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return fmt.Errorf("ingest: %s: log ends mid-entry: %w", r.sp.ID, err)
+			}
+			if errors.Is(err, sflow.ErrDatagram) {
+				t.recv()
+				t.parseError() // one bad body; the reader resynced
+				continue
+			}
+			return err // framing error or stream fault
+		}
+		t.beat()
+		t.recv()
+		if r.cfg.TimeFromUptime {
+			at = simclock.Time(dg.Uptime)
+		}
+		if !t.deliver(dg, at, cr.n, 0) {
+			return t.ctx.Err()
+		}
+	}
+}
+
+// batcher groups time-ordered flow samples into per-second datagrams,
+// mirroring sflow.LogWriter's canonical batching (flush on time change
+// or maxSamples) so pcap and synthetic inputs produce the same datagram
+// stream shape a recorded log would. Batching is a pure function of the
+// sample sequence, so datagram boundaries — and with them Seq numbers
+// and count cursors — reproduce exactly across restarts.
+type batcher struct {
+	agent [4]byte
+	cur   sflow.Datagram
+	curAt simclock.Time
+	dgSeq uint32
+	n     int64 // samples added so far
+}
+
+const batchMaxSamples = 64 // one datagram per arrival second, capped
+
+// add appends one sample; when that forces the previous batch out, the
+// flushed datagram, its time, and the sample count through its last
+// sample are returned.
+func (b *batcher) add(s sflow.FlowSample, at simclock.Time) (*sflow.Datagram, simclock.Time, int64) {
+	var dg *sflow.Datagram
+	var dgAt simclock.Time
+	var dgN int64
+	if len(b.cur.Samples) > 0 && (at != b.curAt || len(b.cur.Samples) >= batchMaxSamples) {
+		dg, dgAt, dgN = b.flush()
+	}
+	b.curAt = at
+	b.cur.Samples = append(b.cur.Samples, s)
+	b.n++
+	return dg, dgAt, dgN
+}
+
+// flush emits any buffered samples as a datagram.
+func (b *batcher) flush() (*sflow.Datagram, simclock.Time, int64) {
+	if len(b.cur.Samples) == 0 {
+		return nil, 0, 0
+	}
+	b.dgSeq++
+	dg := &sflow.Datagram{
+		Agent:   b.agent,
+		Seq:     b.dgSeq,
+		Uptime:  uint32(b.curAt),
+		Samples: b.cur.Samples,
+	}
+	b.cur.Samples = nil // the flushed datagram owns the slice
+	return dg, b.curAt, b.n
+}
+
+// pcapRunner reads a classic pcap capture, batches frames into
+// per-second datagrams, and completes. The cursor is the count of
+// frames delivered; restart re-runs the deterministic batching and
+// skips datagrams whose last frame is at or before the cursor, so Seq
+// numbers continue seamlessly.
+type pcapRunner struct {
+	sp  Spec
+	cfg *Config
+}
+
+func (p *pcapRunner) run(t *task, cursor int64) error {
+	f, err := os.Open(p.sp.Path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var src io.Reader = f
+	if p.cfg.WrapReader != nil {
+		src = p.cfg.WrapReader(p.sp.ID, src)
+	}
+	pr, err := pcap.NewReader(bufio.NewReader(src))
+	if err != nil {
+		return err
+	}
+	// A capture is a full packet record, not a sampled feed: rate 1.
+	b := &batcher{agent: p.sp.agent()}
+	emit := func(dg *sflow.Datagram, at simclock.Time, n int64) bool {
+		if dg == nil || n <= cursor {
+			return true // nil flush, or already delivered before restart
+		}
+		t.recv()
+		return t.deliver(dg, at, n, 0)
+	}
+	for {
+		if t.ctx.Err() != nil {
+			return t.ctx.Err()
+		}
+		pkt, err := pr.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				if !emit(b.flush()) {
+					return t.ctx.Err()
+				}
+				return nil
+			}
+			return err
+		}
+		t.beat()
+		frame := pkt.Data
+		s := sflow.FlowSample{
+			Seq:      uint32(b.n + 1),
+			SourceID: 1,
+			Rate:     1,
+			Pool:     uint32(b.n + 1),
+			FrameLen: uint32(pkt.Orig),
+			Header:   frame,
+		}
+		if !emit(b.add(s, pkt.Time)) {
+			return t.ctx.Err()
+		}
+	}
+}
+
+// synthRunner generates sampled campaign traffic — the ecosystem
+// generator's wire-level day stream, arrival-ordered and batched into
+// datagrams — then completes. Generation is a pure function of
+// (scale, seed, day), so the cursor is a plain sample count: restart
+// regenerates and skips what was already delivered. The campaign is
+// built once and kept across restarts (construction dominates).
+type synthRunner struct {
+	sp  Spec
+	cfg *Config
+	gen *ecosystem.Generator
+}
+
+func (r *synthRunner) run(t *task, cursor int64) error {
+	if r.gen == nil {
+		cfg := ecosystem.DefaultCampaignConfig(r.sp.Scale)
+		cfg.Zones.ProceduralNames = 20_000
+		cfg.Topology = topology.Config{Members: 24, ASesPerClass: 40, Seed: r.sp.Seed}
+		r.gen = ecosystem.NewGenerator(ecosystem.NewCampaign(cfg), r.sp.Seed)
+	}
+	b := &batcher{agent: r.sp.agent()}
+	emit := func(dg *sflow.Datagram, at simclock.Time, n int64) bool {
+		if dg == nil || n <= cursor {
+			return true
+		}
+		t.recv()
+		return t.deliver(dg, at, n, 0)
+	}
+	day := simclock.MeasurementStart
+	for d := 0; d < r.sp.Days; d++ {
+		if t.ctx.Err() != nil {
+			return t.ctx.Err()
+		}
+		recs := slices.Clone(r.gen.WireDay(day).IXP)
+		slices.SortStableFunc(recs, func(a, b ecosystem.TaggedRecord) int {
+			return int(a.Rec.Time.Sub(b.Rec.Time))
+		})
+		t.beat()
+		for _, tr := range recs {
+			s := sflow.FlowSample{
+				Seq:      uint32(tr.Rec.Seq),
+				SourceID: 1,
+				Rate:     sflow.DefaultRate,
+				Pool:     uint32(tr.Rec.Seq) * sflow.DefaultRate,
+				Input:    tr.Ingress,
+				FrameLen: uint32(tr.Rec.FrameLen),
+				Header:   tr.Rec.Frame,
+			}
+			if !emit(b.add(s, tr.Rec.Time)) {
+				return t.ctx.Err()
+			}
+		}
+		day = day.Add(simclock.Day)
+	}
+	if !emit(b.flush()) {
+		return t.ctx.Err()
+	}
+	return nil
+}

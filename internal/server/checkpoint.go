@@ -1,7 +1,7 @@
 // Crash-safe service state: the running window — aggregator arena,
 // interning table, name list, retained detections — plus per-source
-// consume cursors and the tail-log offset, serialized to one
-// checksummed file. Checkpoints are written atomically (temp file +
+// consume cursors, per-input ingest cursors (keyed by stable source
+// ID), and the tail-log offset, serialized to one checksummed file. Checkpoints are written atomically (temp file +
 // rename) on a timer and during shutdown; `-resume` loads the newest
 // valid one and continues mid-stream, with a per-source replay barrier
 // skipping datagrams the restored window already contains, so a
@@ -38,7 +38,10 @@ var ErrCheckpoint = errors.New("server: malformed checkpoint")
 var ckptMagic = [8]byte{'d', 'n', 'a', 'm', 'p', 'C', 'k', 'p'}
 
 const (
-	ckptVersion = 1
+	// Version history: 1 = single-input (PR 7); 2 adds the per-row
+	// input-source ID and the per-input cursor section for supervised
+	// multi-source ingest.
+	ckptVersion = 2
 	// ckptOverhead is the fixed envelope: magic + version up front, an
 	// FNV-1a checksum of the payload at the end.
 	ckptHeaderLen = 12
@@ -159,6 +162,9 @@ func (s *Service) encodeCheckpoint() ([]byte, error) {
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		a, b := rows[i].key, rows[j].key
+		if a.src != b.src {
+			return a.src < b.src
+		}
 		if a.agent != b.agent {
 			return string(a.agent[:]) < string(b.agent[:])
 		}
@@ -167,6 +173,7 @@ func (s *Service) encodeCheckpoint() ([]byte, error) {
 	e.U32(uint32(len(rows)))
 	for _, src := range rows {
 		st := &src.stats
+		e.Str(src.key.src)
 		e.Raw(src.key.agent[:])
 		e.U32(src.key.subAgent)
 		e.Bool(src.started)
@@ -183,6 +190,22 @@ func (s *Service) encodeCheckpoint() ([]byte, error) {
 		e.U64(st.ReplaySkipped)
 		e.I64(int64(st.LastArrival))
 		e.U32(src.cursor)
+	}
+
+	// Per-input consumed cursors for supervised multi-source ingest,
+	// keyed by the stable ingest.Spec ID. Only the offset persists: an
+	// epoch orders offsets within one process lifetime; across a
+	// restart each source adapter revalidates the offset against
+	// whatever the input looks like now (Tailer resumeAt semantics).
+	ids := make([]string, 0, len(s.inputCursors))
+	for id := range s.inputCursors {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	e.U32(uint32(len(ids)))
+	for _, id := range ids {
+		e.Str(id)
+		e.I64(s.inputCursors[id].off)
 	}
 
 	e.U64(s.received.Load())
@@ -226,14 +249,17 @@ func (s *Service) decodeCheckpoint(raw []byte) error {
 		return err
 	}
 
-	// A source row costs 4+4+1 + 8×6 + 4×4 + 8 = 85 bytes.
-	nSrc := d.Count(85)
+	// A source row costs at least 4+4+4+1 + 8×6 + 4×4 + 8 = 89 bytes
+	// (the input-ID string adds its length on top).
+	nSrc := d.Count(89)
 	for i := 0; i < nSrc && d.Err() == nil; i++ {
 		src := &sourceState{}
+		src.key.src = d.Str()
 		copy(src.key.agent[:], d.Raw(4))
 		src.key.subAgent = d.U32()
 		src.started = d.Bool()
 		st := &src.stats
+		st.Input = src.key.src
 		st.Agent = fmt.Sprintf("%d.%d.%d.%d", src.key.agent[0], src.key.agent[1], src.key.agent[2], src.key.agent[3])
 		st.SubAgent = src.key.subAgent
 		st.Datagrams = d.U64()
@@ -258,6 +284,17 @@ func (s *Service) decodeCheckpoint(raw []byte) error {
 		st.LastSeq = src.cursor
 		if d.Err() == nil {
 			s.sources[src.key] = src
+		}
+	}
+
+	// A cursor entry costs at least 4 + 8 = 12 bytes.
+	nCur := d.Count(12)
+	for i := 0; i < nCur && d.Err() == nil; i++ {
+		id := d.Str()
+		off := d.I64()
+		if d.Err() == nil {
+			s.inputCursors[id] = srcCursor{off: off}
+			s.schedResume[id] = off
 		}
 	}
 
@@ -379,6 +416,8 @@ func (s *Service) resume() error {
 			// next older file.
 			s.win = NewWindow(s.cfg.Window, s.stages)
 			s.sources = make(map[sourceKey]*sourceState)
+			s.inputCursors = make(map[string]srcCursor)
+			s.schedResume = make(map[string]int64)
 			s.tailOffConsumed, s.tailResumeAt = 0, 0
 			continue
 		}

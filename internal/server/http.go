@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"dnsamp/internal/core"
+	"dnsamp/internal/ingest"
 	"dnsamp/internal/metrics"
 )
 
@@ -33,6 +34,15 @@ func newDetection(d *core.Detection) *Detection {
 		First:            d.First.String(),
 		Last:             d.Last.String(),
 	}
+}
+
+// SourcesPayload is the /sources response: per-collector accounting
+// rows (one per observed sFlow agent, scoped by input in multi-source
+// mode) plus per-input supervisor state (empty outside multi-source
+// ingest mode).
+type SourcesPayload struct {
+	Collectors []SourceStats            `json:"collectors"`
+	Inputs     []ingest.SupervisorStats `json:"inputs,omitempty"`
 }
 
 // stageJSON is the /stages row: durations human-readable, mean
@@ -76,7 +86,10 @@ func (s *Service) handler() http.Handler {
 		writeJSON(w, s.DetectionsSnapshot())
 	})
 	mux.HandleFunc("/sources", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.SourcesSnapshot())
+		writeJSON(w, SourcesPayload{
+			Collectors: s.SourcesSnapshot(),
+			Inputs:     s.InputsSnapshot(),
+		})
 	})
 	mux.HandleFunc("/stages", func(w http.ResponseWriter, r *http.Request) {
 		snap := s.StagesSnapshot()
@@ -185,6 +198,27 @@ func (s *Service) registerMetrics() {
 	gauge("ixpmon_source_sampling_rate", "Current sampling denominator N (1-in-N) per collector.", perSource(func(st *SourceStats) float64 { return float64(st.Rate) }))
 	counter("ixpmon_source_rate_changes_total", "Observed sampling-rate switches per collector.", perSource(func(st *SourceStats) float64 { return float64(st.RateChanges) }))
 	gauge("ixpmon_source_agent_drops", "Agent-reported cumulative sample drops (flow-sample drops field).", perSource(func(st *SourceStats) float64 { return float64(st.AgentDrops) }))
+
+	// Per-input supervisor families (multi-source ingest mode only: the
+	// snapshot is empty otherwise, so the families emit no samples).
+	perInput := func(f func(st *ingest.SupervisorStats) float64) metrics.Collector {
+		return func(emit metrics.Emit) {
+			for _, st := range s.InputsSnapshot() {
+				st := st
+				emit(f(&st), "input", st.ID)
+			}
+		}
+	}
+	stateCode := map[string]float64{"starting": 0, "healthy": 1, "backoff": 2, "quarantined": 3, "done": 4, "stopped": 5}
+	gauge("ixpmon_input_state", "Supervisor state per input: 0 starting, 1 healthy, 2 backoff, 3 quarantined, 4 done, 5 stopped.", perInput(func(st *ingest.SupervisorStats) float64 { return stateCode[st.State] }))
+	counter("ixpmon_input_datagrams_total", "Datagrams read per input (before parsing).", perInput(func(st *ingest.SupervisorStats) float64 { return float64(st.Received) }))
+	counter("ixpmon_input_parse_errors_total", "Datagrams that failed parsing per input.", perInput(func(st *ingest.SupervisorStats) float64 { return float64(st.ParseErrors) }))
+	counter("ixpmon_input_emitted_total", "Datagrams delivered into the shared window queue per input.", perInput(func(st *ingest.SupervisorStats) float64 { return float64(st.Emitted) }))
+	counter("ixpmon_input_restarts_total", "Supervisor restarts per input (failure or stall).", perInput(func(st *ingest.SupervisorStats) float64 { return float64(st.Restarts) }))
+	counter("ixpmon_input_stalls_total", "Watchdog-detected stalls per input.", perInput(func(st *ingest.SupervisorStats) float64 { return float64(st.Stalls) }))
+	counter("ixpmon_input_panics_total", "Delivery panics contained per input (datagram quarantined).", perInput(func(st *ingest.SupervisorStats) float64 { return float64(st.Panics) }))
+	gauge("ixpmon_input_buffered", "Datagrams parked in the input's reorder buffer awaiting the merge policy.", perInput(func(st *ingest.SupervisorStats) float64 { return float64(st.Buffered) }))
+	gauge("ixpmon_input_cursor", "Resume cursor of the newest datagram emitted per input (bytes or records; kind-specific).", perInput(func(st *ingest.SupervisorStats) float64 { return float64(st.Cursor) }))
 
 	window := func(f func(ws *WindowStats) float64) metrics.Collector {
 		return func(emit metrics.Emit) {

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -318,14 +319,21 @@ func TestConsumerPanicQuarantine(t *testing.T) {
 	if len(poisons) != 1 {
 		t.Fatalf("poison files = %v, want exactly 1", poisons)
 	}
+	// Single-input modes slug their source ID as "main" in the name.
+	if base := filepath.Base(poisons[0]); !strings.HasPrefix(base, "poison-main-") {
+		t.Errorf("poison file name = %q, want poison-main-* (source-scoped)", base)
+	}
 	raw, err := os.ReadFile(poisons[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	rest := raw
-	for i := 0; i < 2; i++ { // two '#' meta lines precede the datagram
+	if rest[0] != '#' {
+		t.Fatalf("poison file meta header malformed: %q", raw)
+	}
+	for len(rest) > 0 && rest[0] == '#' { // '#' meta lines precede the datagram
 		j := bytes.IndexByte(rest, '\n')
-		if j < 0 || rest[0] != '#' {
+		if j < 0 {
 			t.Fatalf("poison file meta header malformed: %q", raw)
 		}
 		rest = rest[j+1:]

@@ -34,15 +34,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dnsamp/internal/ingest"
 	"dnsamp/internal/metrics"
 	"dnsamp/internal/sflow"
 	"dnsamp/internal/simclock"
@@ -99,9 +102,34 @@ type Config struct {
 	// the right entry.
 	TailLog string
 
+	// Inputs, when non-empty, replaces the single-input modes with
+	// supervised multi-source ingest: every configured source (UDP
+	// listeners, tailed logs, replay files, pcap captures, synthetic
+	// fill) runs under its own supervisor in internal/ingest and feeds
+	// the shared queue in the order Policy picks. Mutually exclusive
+	// with UDPAddr/TailLog single-input operation; per-input resume
+	// cursors ride in checkpoints keyed by the stable Spec ID.
+	Inputs []ingest.Spec
+	// Policy is the ingest scheduling policy (ingest.PolicyRoundRobin,
+	// ingest.PolicyBacklog, or ingest.PolicyArrival; default
+	// round-robin). Only meaningful with Inputs.
+	Policy string
+	// IngestTuning overrides the supervision knobs (buffer depth,
+	// restart backoff, stall deadline, quarantine threshold). Zero
+	// fields take the ingest defaults.
+	IngestTuning ingest.Tuning
+
 	// ListenPacket, when set, binds the ingest socket (initially and on
-	// rebind) instead of net.ListenUDP — the fault-injection seam.
+	// rebind) instead of net.ListenUDP — the fault-injection seam. With
+	// Inputs it also binds every UDP source's socket.
 	ListenPacket func(addr string) (net.PacketConn, error)
+	// WrapReader, when set, wraps every file-backed ingest stream — the
+	// stream-fault seam (faults.Injector.Reader). Only used with Inputs.
+	WrapReader func(id string, r io.Reader) io.Reader
+	// IngestFaultPanic, when set, panics per-source datagram delivery on
+	// matching datagrams — the test hook for ingest-level panic
+	// containment. Only used with Inputs.
+	IngestFaultPanic func(id string, dg *sflow.Datagram) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -142,12 +170,25 @@ const (
 )
 
 // item is one parsed datagram in flight from producer to consumer. off
-// is the tail-log offset just past its entry (0 on the UDP path).
+// is the durable-input cursor just past its entry (a tail-log byte
+// offset or an ingest count cursor; 0 on UDP paths), and epoch tells
+// the consumer when cursors stopped being comparable (a tailed file
+// was reopened after rotation/truncation, or the source restarted).
 type item struct {
-	src *sourceState
-	dg  *sflow.Datagram
-	at  simclock.Time
-	off int64
+	src   *sourceState
+	dg    *sflow.Datagram
+	at    simclock.Time
+	off   int64
+	epoch uint64
+}
+
+// srcCursor is the consumed position of one durable ingest input:
+// the newest (epoch, offset) the consumer drained into the window.
+// Epochs order incomparable offset spaces; only the offset persists
+// in checkpoints (it is what the source adapter can seek to).
+type srcCursor struct {
+	epoch uint64
+	off   int64
 }
 
 // Service is the running daemon. Construct with NewService, start with
@@ -159,11 +200,13 @@ type Service struct {
 
 	// mu serializes window access (consumer vs HTTP snapshots vs
 	// checkpointer); it also guards the consumer-side resume cursors
-	// (sourceState.cursor, tailOffConsumed) so checkpoints are exact
-	// (window, cursor) pairs.
-	mu              sync.Mutex
-	win             *Window
-	tailOffConsumed int64
+	// (sourceState.cursor, tailOffConsumed, inputCursors) so
+	// checkpoints are exact (window, cursor) pairs.
+	mu                sync.Mutex
+	win               *Window
+	tailOffConsumed   int64
+	tailEpochConsumed uint64
+	inputCursors      map[string]srcCursor
 
 	// smu guards the source registry; row fields other than pending and
 	// cursor are written only by the producer under it.
@@ -175,6 +218,12 @@ type Service struct {
 	// cmu guards conn, which the producer may swap on rebind.
 	cmu  sync.Mutex
 	conn net.PacketConn
+
+	// sched drives multi-source ingest (nil in the single-input modes);
+	// schedResume carries per-input cursors from a restored checkpoint
+	// into its construction.
+	sched       *ingest.Scheduler
+	schedResume map[string]int64
 
 	httpLn  net.Listener
 	httpSrv *http.Server
@@ -228,6 +277,8 @@ func NewService(cfg Config) *Service {
 		stages:       NewStages(),
 		reg:          metrics.NewRegistry(),
 		sources:      make(map[sourceKey]*sourceState),
+		inputCursors: make(map[string]srcCursor),
+		schedResume:  make(map[string]int64),
 		readerDone:   make(chan struct{}),
 		consumerDone: make(chan struct{}),
 		ckptStop:     make(chan struct{}),
@@ -263,6 +314,9 @@ func (s *Service) Start() error {
 	if s.started {
 		return errors.New("server: already started")
 	}
+	if len(s.cfg.Inputs) > 0 && s.cfg.TailLog != "" {
+		return errors.New("server: Inputs and TailLog are mutually exclusive")
+	}
 	if s.cfg.StateDir != "" {
 		if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
 			return fmt.Errorf("server: creating state dir: %w", err)
@@ -275,7 +329,27 @@ func (s *Service) Start() error {
 			s.ckptSeq = nextCkptSeq(listCheckpoints(s.cfg.StateDir))
 		}
 	}
-	if s.cfg.TailLog == "" {
+	switch {
+	case len(s.cfg.Inputs) > 0:
+		sched, err := ingest.New(ingest.Config{
+			Specs:          s.cfg.Inputs,
+			Policy:         s.cfg.Policy,
+			Cursors:        s.schedResume,
+			TimeFromUptime: s.cfg.TimeFromUptime,
+			Tuning:         s.cfg.IngestTuning,
+			ListenPacket:   s.cfg.ListenPacket,
+			WrapReader:     s.cfg.WrapReader,
+			FaultPanic:     s.cfg.IngestFaultPanic,
+			Poison: func(id string, dg *sflow.Datagram, cause any) {
+				s.panics.Add(1)
+				s.quarantine(id, dg, cause)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("server: configuring ingest: %w", err)
+		}
+		s.sched = sched
+	case s.cfg.TailLog == "":
 		conn, err := s.listenPacket(s.cfg.UDPAddr)
 		if err != nil {
 			return fmt.Errorf("server: listening UDP: %w", err)
@@ -292,9 +366,13 @@ func (s *Service) Start() error {
 	s.httpLn = ln
 	s.httpSrv = &http.Server{Handler: s.handler()}
 	s.started = true
-	if s.cfg.TailLog == "" {
+	switch {
+	case s.sched != nil:
+		s.sched.Start()
+		go s.schedLoop()
+	case s.cfg.TailLog == "":
 		go s.readLoop()
-	} else {
+	default:
 		go s.tailLoop()
 	}
 	go s.consumeLoop()
@@ -339,6 +417,9 @@ func (s *Service) Shutdown(ctx context.Context) error {
 			s.conn.Close()
 		}
 		s.cmu.Unlock()
+		if s.sched != nil {
+			s.sched.Stop()
+		}
 		<-s.readerDone
 		<-s.consumerDone
 		close(s.ckptStop)
@@ -443,32 +524,63 @@ func (s *Service) readLoop() {
 		} else {
 			at = simclock.Time(time.Now().Unix())
 		}
-		s.enqueueParsed(dg, at)
+		s.enqueueParsed("", dg, at)
+	}
+}
+
+// schedLoop is the producer in multi-source ingest mode: it drains the
+// scheduler's merged stream into the shared queue. Items from durable
+// sources are flow-controlled (never shed — their cursors make loss
+// unnecessary); UDP items go through the regular shed tiers. The
+// scheduler already parsed, timestamped, and per-source-buffered
+// everything, so this loop is just accounting plus queue admission.
+func (s *Service) schedLoop() {
+	defer close(s.readerDone)
+	defer close(s.queue)
+	for it := range s.sched.Items() {
+		s.received.Add(1)
+		if it.Durable {
+			if !s.enqueueDurable(it.SourceID, it.Dg, it.At, it.Cursor, it.Epoch) {
+				return
+			}
+		} else {
+			s.enqueueParsed(it.SourceID, it.Dg, it.At)
+		}
 	}
 }
 
 // accountLocked runs the resume barrier and per-source accounting for
-// one parsed datagram, creating the source row on first sight. Returns
-// nil when the replay barrier skipped the datagram. Producer-goroutine
-// only; caller holds smu.
-func (s *Service) accountLocked(dg *sflow.Datagram, at simclock.Time) *sourceState {
-	key := sourceKey{agent: dg.Agent, subAgent: dg.SubAgent}
+// one parsed datagram, creating the source row on first sight. sid
+// scopes the row to the configured ingest input it arrived through
+// ("" in the single-input modes). Returns nil when the replay barrier
+// skipped the datagram. Producer-goroutine only; caller holds smu.
+func (s *Service) accountLocked(sid string, dg *sflow.Datagram, at simclock.Time, durable bool) *sourceState {
+	key := sourceKey{src: sid, agent: dg.Agent, subAgent: dg.SubAgent}
 	src := s.sources[key]
 	if src == nil {
 		src = &sourceState{key: key}
+		src.stats.Input = sid
 		src.stats.Agent = fmt.Sprintf("%d.%d.%d.%d", key.agent[0], key.agent[1], key.agent[2], key.agent[3])
 		src.stats.SubAgent = key.subAgent
 		s.sources[key] = src
 	}
 	if src.resuming {
-		if dg.Seq <= src.resumeSeq && dg.Seq >= src.stats.FirstSeq {
+		switch {
+		case durable:
+			// A durable input resumes by byte/record cursor: its adapter
+			// re-reads exactly what was never consumed, so the sequence
+			// barrier adds nothing — and misfires after a rotation reset
+			// the writer's sequence numbers below the consumed cursor.
+			src.resuming = false
+		case dg.Seq <= src.resumeSeq && dg.Seq >= src.stats.FirstSeq:
 			// Already inside the restored window: consuming it again would
 			// double-count, so it is skipped before any accounting.
 			src.stats.ReplaySkipped++
 			s.replaySkipped.Add(1)
 			return nil
+		default:
+			src.resuming = false
 		}
-		src.resuming = false
 	}
 	src.account(dg, at)
 	return src
@@ -478,10 +590,10 @@ func (s *Service) accountLocked(dg *sflow.Datagram, at simclock.Time) *sourceSta
 // either enqueues it for the consumer or sheds it: the resume barrier
 // first (already-consumed replays), then the global overload tiers,
 // then per-source backpressure. Producer-goroutine only.
-func (s *Service) enqueueParsed(dg *sflow.Datagram, at simclock.Time) {
+func (s *Service) enqueueParsed(sid string, dg *sflow.Datagram, at simclock.Time) {
 	s.smu.Lock()
 	defer s.smu.Unlock()
-	src := s.accountLocked(dg, at)
+	src := s.accountLocked(sid, dg, at, false)
 	if src == nil {
 		return
 	}
@@ -518,20 +630,21 @@ func (s *Service) enqueueParsed(dg *sflow.Datagram, at simclock.Time) {
 	}
 }
 
-// enqueueTail accounts one tail-log entry and enqueues it, blocking
-// while the queue is full. Tail ingest never sheds: the log is durable
-// on disk, so backpressure is flow control — the tailer pauses — not
-// loss, and the overload tiers stay out of it. Reports false when
-// shutdown interrupted the wait; the entry was not enqueued and its
-// offset never advanced, so a resume re-reads it.
-func (s *Service) enqueueTail(dg *sflow.Datagram, at simclock.Time, off int64) bool {
+// enqueueDurable accounts one durable-input entry (tail log, replay
+// file, pcap, synthetic) and enqueues it, blocking while the queue is
+// full. Durable ingest never sheds: the input survives on its own, so
+// backpressure is flow control — the producer pauses — not loss, and
+// the overload tiers stay out of it. Reports false when shutdown
+// interrupted the wait; the entry was not enqueued and its offset
+// never advanced, so a resume re-reads it.
+func (s *Service) enqueueDurable(sid string, dg *sflow.Datagram, at simclock.Time, off int64, epoch uint64) bool {
 	s.smu.Lock()
-	src := s.accountLocked(dg, at)
+	src := s.accountLocked(sid, dg, at, true)
 	s.smu.Unlock()
 	if src == nil {
 		return true
 	}
-	it := item{src: src, dg: dg, at: at, off: off}
+	it := item{src: src, dg: dg, at: at, off: off, epoch: epoch}
 	for {
 		select {
 		case s.queue <- it:
@@ -570,7 +683,7 @@ func (s *Service) consumeOne(it item) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
-			s.quarantine(it.dg, r)
+			s.quarantine(it.src.key.src, it.dg, r)
 		}
 	}()
 	stop := s.stages.Track("observe")
@@ -601,28 +714,61 @@ func (s *Service) consumeOne(it item) {
 	}
 	// Cursor advance is the last locked step: a panicking datagram never
 	// moves the cursor, so after a resume it is re-sent, re-quarantined,
-	// and still never half-counted.
+	// and still never half-counted. Offsets compare within an epoch
+	// only: after a rotation/truncation reopen (or a supervised-source
+	// restart) offsets start over in a new, smaller space, and a newer
+	// epoch always supersedes — without this, a post-rotation checkpoint
+	// would carry the dead file's large stale offset.
 	if it.dg.Seq > it.src.cursor {
 		it.src.cursor = it.dg.Seq
 	}
-	if it.off > s.tailOffConsumed {
-		s.tailOffConsumed = it.off
+	if it.off > 0 {
+		if sid := it.src.key.src; sid != "" {
+			c := s.inputCursors[sid]
+			if it.epoch > c.epoch || (it.epoch == c.epoch && it.off > c.off) {
+				s.inputCursors[sid] = srcCursor{epoch: it.epoch, off: it.off}
+			}
+		} else if it.epoch > s.tailEpochConsumed || (it.epoch == s.tailEpochConsumed && it.off > s.tailOffConsumed) {
+			s.tailEpochConsumed, s.tailOffConsumed = it.epoch, it.off
+		}
 	}
 }
 
 // quarantine writes the datagram that broke the consumer to a poison
-// file for offline triage. Without a StateDir the event is only
+// file for offline triage, named with the source it arrived through so
+// two sources' poison in the same instant can never collide or point
+// triage at the wrong feed. Without a StateDir the event is only
 // counted.
-func (s *Service) quarantine(dg *sflow.Datagram, cause any) {
+func (s *Service) quarantine(sid string, dg *sflow.Datagram, cause any) {
 	if s.cfg.StateDir == "" {
 		return
 	}
 	n := s.poisoned.Add(1)
 	body := sflow.EncodeDatagram(dg)
-	meta := fmt.Sprintf("# consumer panic: %v\n# agent %d.%d.%d.%d/%d seq %d\n",
-		cause, dg.Agent[0], dg.Agent[1], dg.Agent[2], dg.Agent[3], dg.SubAgent, dg.Seq)
-	path := filepath.Join(s.cfg.StateDir, fmt.Sprintf("poison-%06d.sflow", n))
+	meta := fmt.Sprintf("# consumer panic: %v\n# source %s\n# agent %d.%d.%d.%d/%d seq %d\n",
+		cause, sourceSlug(sid), dg.Agent[0], dg.Agent[1], dg.Agent[2], dg.Agent[3], dg.SubAgent, dg.Seq)
+	path := filepath.Join(s.cfg.StateDir, fmt.Sprintf("poison-%s-%06d.sflow", sourceSlug(sid), n))
 	_ = atomicWriteFile(path, append([]byte(meta), body...))
+}
+
+// sourceSlug renders an ingest source ID as a filesystem-safe name
+// fragment. The single-input modes ("" ID) slug as "main".
+func sourceSlug(sid string) string {
+	if sid == "" {
+		return "main"
+	}
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, sid)
+	if len(slug) > 48 {
+		slug = slug[:48]
+	}
+	return slug
 }
 
 // Received reports datagrams read off the socket so far.
@@ -670,7 +816,7 @@ func (s *Service) DetectionsSnapshot() []*Detection {
 }
 
 // SourcesSnapshot returns per-collector accounting rows sorted by
-// (agent, sub-agent).
+// (input, agent, sub-agent).
 func (s *Service) SourcesSnapshot() []SourceStats {
 	s.smu.Lock()
 	out := make([]SourceStats, 0, len(s.sources))
@@ -679,12 +825,37 @@ func (s *Service) SourcesSnapshot() []SourceStats {
 	}
 	s.smu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
+		if out[i].Input != out[j].Input {
+			return out[i].Input < out[j].Input
+		}
 		if out[i].Agent != out[j].Agent {
 			return out[i].Agent < out[j].Agent
 		}
 		return out[i].SubAgent < out[j].SubAgent
 	})
 	return out
+}
+
+// InputsSnapshot returns per-input supervisor rows in configuration
+// order (nil outside multi-source ingest mode).
+func (s *Service) InputsSnapshot() []ingest.SupervisorStats {
+	if s.sched == nil {
+		return nil
+	}
+	return s.sched.Snapshot()
+}
+
+// Ingest exposes the multi-source scheduler (nil in the single-input
+// modes) — bound UDP addresses and supervisor state for tests and the
+// CLI.
+func (s *Service) Ingest() *ingest.Scheduler { return s.sched }
+
+// InputCursor reports the consumed resume cursor of one configured
+// ingest input (0 before anything of it was consumed).
+func (s *Service) InputCursor(id string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inputCursors[id].off
 }
 
 // StagesSnapshot returns accumulated per-stage timings.

@@ -61,10 +61,15 @@ func dialService(t *testing.T, svc *Service) *net.UDPConn {
 	return conn
 }
 
-// wireLog generates a deterministic multi-day campaign and encodes its
-// sampled IXP traffic as an arrival-ordered sFlow datagram log.
-func wireLog(t *testing.T, days int) *bytes.Buffer {
+// wireRecs generates a deterministic multi-day campaign's sampled IXP
+// traffic in global arrival order — the record stream wireLog and the
+// multi-source split helpers encode. Memoized per day count: several
+// golden tests share one generation.
+func wireRecs(t *testing.T, days int) []ecosystem.TaggedRecord {
 	t.Helper()
+	if recs, ok := wireRecsCache[days]; ok {
+		return recs
+	}
 	cfg := ecosystem.DefaultCampaignConfig(0.01)
 	cfg.Zones.ProceduralNames = 20_000
 	cfg.Topology = topology.Config{Members: 24, ASesPerClass: 40, Seed: 1}
@@ -80,9 +85,17 @@ func wireLog(t *testing.T, days int) *bytes.Buffer {
 	slices.SortStableFunc(recs, func(a, b ecosystem.TaggedRecord) int {
 		return int(a.Rec.Time.Sub(b.Rec.Time))
 	})
+	wireRecsCache[days] = recs
+	return recs
+}
 
-	var buf bytes.Buffer
-	lw, err := sflow.NewLogWriter(&buf, [4]byte{192, 0, 2, 1}, sflow.DefaultRate)
+var wireRecsCache = map[int][]ecosystem.TaggedRecord{}
+
+// encodeWire encodes records as an sFlow datagram log attributed to
+// the canonical test agent 192.0.2.1.
+func encodeWire(t *testing.T, w io.Writer, recs []ecosystem.TaggedRecord) {
+	t.Helper()
+	lw, err := sflow.NewLogWriter(w, [4]byte{192, 0, 2, 1}, sflow.DefaultRate)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +107,46 @@ func wireLog(t *testing.T, days int) *bytes.Buffer {
 	if err := lw.Flush(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// wireLog generates a deterministic multi-day campaign and encodes its
+// sampled IXP traffic as an arrival-ordered sFlow datagram log.
+func wireLog(t *testing.T, days int) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	encodeWire(t, &buf, wireRecs(t, days))
 	return &buf
+}
+
+// batchReference runs the offline study pipeline over a recorded log —
+// whole-day columnar ingestion, cumulative selector state, per-day
+// close-out — and returns its detections: the golden reference any
+// service-mode run over the same recording must reproduce exactly.
+func batchReference(t *testing.T, logBytes []byte, listN int) []*core.Detection {
+	t.Helper()
+	rep := source.NewReplay(nil)
+	if _, err := rep.IngestSFlowLog(bytes.NewReader(logBytes)); err != nil {
+		t.Fatalf("IngestSFlowLog: %v", err)
+	}
+	tab := rep.Table()
+	ref := core.NewAggregator(tab, nil)
+	ref.SetTrackAll(true)
+	cp := ixp.NewCapturePoint(nil, tab)
+	th := core.DefaultThresholds()
+	var want []*core.Detection
+	for _, day := range rep.Days() {
+		ref.ObserveBatch(cp.RemapBatch(rep.Day(day)))
+		nl := core.BuildNameList(listN, core.Selector1MaxSize(ref), core.Selector2ANYCount(ref))
+		for _, det := range core.Detect(ref, nl.Names, th) {
+			if det.Day == day.Day() {
+				want = append(want, det)
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("batch reference found no detections; the golden comparison would be vacuous")
+	}
+	return want
 }
 
 func getBody(t *testing.T, svc *Service, path string) []byte {
@@ -124,31 +176,9 @@ func TestServiceGoldenReplay(t *testing.T) {
 	logBuf := wireLog(t, days)
 	logBytes := logBuf.Bytes()
 
-	// Batch reference over the same recording: whole-day columnar
-	// ingestion (no UDP, no eviction), cumulative selector state,
-	// per-day close-out — the study pipeline's semantics.
-	rep := source.NewReplay(nil)
-	if _, err := rep.IngestSFlowLog(bytes.NewReader(logBytes)); err != nil {
-		t.Fatalf("IngestSFlowLog: %v", err)
-	}
-	tab := rep.Table()
-	ref := core.NewAggregator(tab, nil)
-	ref.SetTrackAll(true)
-	cp := ixp.NewCapturePoint(nil, tab)
-	th := core.DefaultThresholds()
-	var want []*core.Detection
-	for _, day := range rep.Days() {
-		ref.ObserveBatch(cp.RemapBatch(rep.Day(day)))
-		nl := core.BuildNameList(listN, core.Selector1MaxSize(ref), core.Selector2ANYCount(ref))
-		for _, det := range core.Detect(ref, nl.Names, th) {
-			if det.Day == day.Day() {
-				want = append(want, det)
-			}
-		}
-	}
-	if len(want) == 0 {
-		t.Fatal("batch reference found no detections; the golden comparison would be vacuous")
-	}
+	// Batch reference over the same recording: no UDP, no eviction —
+	// the study pipeline's semantics.
+	want := batchReference(t, logBytes, listN)
 
 	// The daemon: 2-day window over a 5-day recording, so eviction and
 	// slot recycling run during the replay. Timestamps ride the Uptime
@@ -252,10 +282,11 @@ func assertControlSurface(t *testing.T, svc *Service, withSources bool) {
 		}
 	}
 
-	var sources []SourceStats
-	if err := json.Unmarshal(getBody(t, svc, "/sources"), &sources); err != nil {
+	var srcPayload SourcesPayload
+	if err := json.Unmarshal(getBody(t, svc, "/sources"), &srcPayload); err != nil {
 		t.Fatalf("/sources: %v", err)
 	}
+	sources := srcPayload.Collectors
 	if withSources {
 		if len(sources) != 1 || sources[0].Agent != "192.0.2.1" || sources[0].Datagrams == 0 {
 			t.Errorf("/sources = %+v", sources)

@@ -70,7 +70,7 @@ func (s *Service) tailLoop() {
 		if s.cfg.TimeFromUptime {
 			at = simclock.Time(dg.Uptime)
 		}
-		if !s.enqueueTail(dg, at, t.Offset()) {
+		if !s.enqueueDurable("", dg, at, t.Offset(), t.Reopens()) {
 			return
 		}
 	}
